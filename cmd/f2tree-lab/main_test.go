@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestRunCheapExperiments(t *testing.T) {
+	for _, args := range [][]string{
+		{"table1"},
+		{"-n", "16", "table1"},
+		{"table4"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunTestbedExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed run")
+	}
+	if err := run([]string{"table3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"nonsense"},
+		{"table1", "extra"},
+		{"-badflag", "table1"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

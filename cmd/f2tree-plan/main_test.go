@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSchemes(t *testing.T) {
+	cases := [][]string{
+		{"-scheme", "f2tree", "-n", "8"},
+		{"-scheme", "f2tree", "-n", "8", "-routes"},
+		{"-scheme", "fattree", "-n", "4"}, // no rings: prints and exits
+		{"-scheme", "f2leafspine", "-n", "8"},
+		{"-scheme", "f2tree-proto", "-n", "4"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scheme", "bogus"},
+		{"-scheme", "f2tree", "-n", "5"},
+		{"-badflag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTablesOnlyToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-tables-only", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Table III") {
+		t.Fatalf("report incomplete:\n%s", data)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x.md", "-tables-only"}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Command f2tree-sim runs a custom what-if scenario described in JSON:
+// pick a topology and control plane, attach probe flows, and script a
+// timeline of link/switch failures; the report carries per-flow outage
+// metrics.
+//
+// Usage:
+//
+//	f2tree-sim scenario.json
+//	f2tree-sim - < scenario.json
+//
+// Example scenario:
+//
+//	{
+//	  "scheme": "f2tree", "ports": 8, "seed": 1,
+//	  "flows": [{"src": "leftmost", "dst": "rightmost"}],
+//	  "events": [
+//	    {"atMs": 380, "action": "fail-condition", "condition": "C1", "flow": 0},
+//	    {"atMs": 900, "action": "fail-switch", "node": "agg-p0-1"}
+//	  ]
+//	}
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "f2tree-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: f2tree-sim <scenario.json | ->")
+	}
+	var r io.Reader
+	if args[0] == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc, err := scenario.Parse(r)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Run(sc)
+	if err != nil {
+		return err
+	}
+	return scenario.WriteReport(stdout, rep)
+}

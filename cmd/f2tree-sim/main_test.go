@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const doc = `{
+  "scheme": "f2tree", "ports": 8, "seed": 1,
+  "flows": [{"src": "leftmost", "dst": "rightmost", "intervalUs": 1000}],
+  "events": [{"atMs": 380, "action": "fail-condition", "condition": "C1", "flow": 0}]
+}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-"}, strings.NewReader(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "connectivityLossMs") {
+		t.Fatalf("report missing metrics: %s", out.String())
+	}
+}
+
+func TestRunRejectsUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"/does/not/exist.json"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-"}, strings.NewReader("{"), &out); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -1,0 +1,48 @@
+// Failover walks the paper's Table IV failure conditions on the 8-port
+// emulation, comparing fat tree with F²Tree — a compact version of Fig 4.
+// C7 demonstrates the one condition where F²Tree's two across links are
+// not enough and recovery degrades to the control plane.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/failure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("condition | fat tree loss | F²Tree loss | note")
+	for _, cond := range failure.AllConditions() {
+		ftLoss := "      n/a"
+		if cond.FatTreeApplicable() {
+			res, err := exp.RunRecovery(exp.RecoveryOptions{
+				Scheme: exp.SchemeFatTree, Ports: 8, Condition: cond, Seed: 1,
+			})
+			if err != nil {
+				return fmt.Errorf("fat tree %v: %w", cond, err)
+			}
+			ftLoss = fmt.Sprintf("%7.0f ms", float64(res.ConnectivityLoss.Milliseconds()))
+		}
+		res, err := exp.RunRecovery(exp.RecoveryOptions{
+			Scheme: exp.SchemeF2Tree, Ports: 8, Condition: cond, Seed: 1,
+		})
+		if err != nil {
+			return fmt.Errorf("f2tree %v: %w", cond, err)
+		}
+		note := "fast reroute"
+		if cond.PaperCondition() == 4 {
+			note = "degrades to control plane (paper §II-C, 4th condition)"
+		}
+		fmt.Printf("%-9s | %13s | %8.0f ms | %s\n",
+			cond, ftLoss, float64(res.ConnectivityLoss.Milliseconds()), note)
+	}
+	return nil
+}

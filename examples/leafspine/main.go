@@ -1,0 +1,45 @@
+// Leafspine demonstrates the paper's §V claim: the F²Tree scheme (rewire
+// two links into rings + two static backup routes) is not fat-tree
+// specific. It rewires a two-layer Leaf-Spine fabric and a VL2-style
+// fabric and compares downward-link failure recovery with the baselines —
+// the paper's Fig 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Show the rewiring plan for the spine ring first.
+	tp, err := topo.F2LeafSpine(8)
+	if err != nil {
+		return err
+	}
+	plan, err := core.PlanBackupRoutes(tp)
+	if err != nil {
+		return err
+	}
+	s := core.Summarize(tp, plan)
+	fmt.Printf("F² Leaf-Spine (8-port): %d spines ringed with %d across links, %d backup routes\n\n",
+		s.SwitchesRewired, s.AcrossLinks, s.BackupRoutes)
+
+	res, err := exp.RunFig7(1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Println("\nthe F² variants reroute locally at failure-detection speed;")
+	fmt.Println("the baselines wait for the routing protocol to converge.")
+	return nil
+}

@@ -1,0 +1,49 @@
+// Partitionaggregate runs a compact version of the paper's §IV-B workload:
+// partition-aggregate requests (1 client → 8 workers → 2 KB responses)
+// over an 8-port DCN while random log-normal link failures churn the
+// fabric, comparing the deadline-miss ratio of fat tree and F²Tree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("partition-aggregate under 5 concurrent failures, 120 s window")
+	for _, scheme := range []exp.Scheme{exp.SchemeFatTree, exp.SchemeF2Tree} {
+		res, err := exp.RunPartitionAggregate(exp.PAOptions{
+			Scheme:   scheme,
+			Ports:    8,
+			Channels: 5,
+			Duration: 120 * sim.Second,
+			Seed:     7,
+			PA: workload.PartitionAggregateConfig{
+				Workers: 8, RequestBytes: 100, ResponseBytes: 2000,
+				MeanInterval: 200 * time.Millisecond, Requests: 600,
+			},
+			DisableBackground: true,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", scheme, err)
+		}
+		fmt.Println(res.Fmt())
+		if p99, err := res.CompletionS.Quantile(0.99); err == nil {
+			fmt.Printf("  p99 completion: %.1f ms\n", p99*1000)
+		}
+	}
+	fmt.Println("\nfat tree requests stall on OSPF SPF timers (up to ~10 s under churn);")
+	fmt.Println("F²Tree requests pay at most the 60 ms detection delay plus one RTO.")
+	return nil
+}

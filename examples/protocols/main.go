@@ -1,0 +1,35 @@
+// Protocols demonstrates that F²Tree's fast reroute is control-plane
+// agnostic (paper §V): the same two static backup routes bridge failures
+// under OSPF (SPF throttling), BGP (MRAI path-vector convergence) and a
+// centralized controller (report + recompute + install loop). The fabric
+// recovers at failure-detection speed regardless of which brain is slow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	res, err := exp.RunProtocols(1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Println("\nnotes:")
+	fmt.Println("- OSPF waits out the 200 ms SPF delay (worse under churn).")
+	fmt.Println("- BGP is bimodal: per-switch AS fabrics sometimes detour through a")
+	fmt.Println("  sibling ToR immediately, sometimes wait out MRAI rounds with")
+	fmt.Println("  transient micro-loops; this seed shows the lucky case.")
+	fmt.Println("- The controller pays report + recompute + install (~70 ms) on top")
+	fmt.Println("  of detection.")
+	return nil
+}

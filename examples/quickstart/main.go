@@ -1,0 +1,87 @@
+// Quickstart: build an 8-port F²Tree, converge its control plane, start a
+// probe flow, tear down the downward ToR–agg link on the flow's path, and
+// watch the fabric fast-reroute in one failure-detection interval instead
+// of waiting for OSPF.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Build the rewired topology and a fully converged lab on top.
+	tp, err := topo.F2Tree(8)
+	if err != nil {
+		return err
+	}
+	lab, err := core.NewLab(core.LabConfig{Topology: tp, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s: %d switches, %d hosts, %d backup routes installed\n",
+		tp.Name, tp.SwitchCount(), tp.HostCount(), len(lab.Plan.Routes))
+
+	// 2. Attach host stacks and start a paced UDP probe S → D.
+	src, dst := lab.LeftmostHost(), lab.RightmostHost()
+	srcStack, err := transport.NewStack(lab.Net, src)
+	if err != nil {
+		return err
+	}
+	dstStack, err := transport.NewStack(lab.Net, dst)
+	if err != nil {
+		return err
+	}
+	sink, err := dstStack.NewUDPSink(9)
+	if err != nil {
+		return err
+	}
+	source := srcStack.StartUDPSource(dstStack.Addr(), 9, 1448, 100*time.Microsecond)
+
+	// 3. At t=380 ms, fail the downward link the flow is using.
+	failAt := 380 * sim.Millisecond
+	lab.Sim.At(failAt, func(sim.Time) {
+		path, err := lab.Net.PathTrace(src, source.FlowKey())
+		if err != nil {
+			log.Printf("trace: %v", err)
+			return
+		}
+		links, err := failure.ConditionLinks(tp, failure.C1, path)
+		if err != nil {
+			log.Printf("condition: %v", err)
+			return
+		}
+		l := tp.Link(links[0])
+		fmt.Printf("t=%v: failing downward link %s–%s\n",
+			lab.Sim.Now(), tp.Node(l.A).Name, tp.Node(l.B).Name)
+		lab.Net.FailLink(links[0])
+	})
+
+	// 4. Run one simulated second and report the outage.
+	if err := lab.Sim.Run(sim.Second); err != nil {
+		return err
+	}
+	arrivals := make([]sim.Time, 0, len(sink.Arrivals))
+	for _, a := range sink.Arrivals {
+		arrivals = append(arrivals, a.Arrived)
+	}
+	loss := metrics.ConnectivityLoss(arrivals, failAt, sim.Second)
+	fmt.Printf("sent %d packets, delivered %d\n", source.Sent(), len(sink.Arrivals))
+	fmt.Printf("connectivity loss: %v (≈ the 60 ms failure-detection delay —\n", loss)
+	fmt.Println("  no OSPF SPF timer, no FIB churn: the pre-installed backup route took over)")
+	return nil
+}

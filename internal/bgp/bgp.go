@@ -1,0 +1,499 @@
+// Package bgp implements a simplified eBGP control plane for the paper's
+// §V "Other Distributed Routing Schemes" discussion: production DCNs often
+// run BGP instead of OSPF (every switch its own AS, one session per link,
+// multipath over equal-length AS paths), and BGP recovers from downward
+// failures just as slowly — withdrawals and updates crawl hop by hop,
+// gated per neighbor by the MRAI timer ([13] Fabrikant et al.).
+//
+// F²Tree's backup routes are protocol-agnostic: they sit in the FIB under
+// whatever the protocol installs, so the same 60 ms local reroute bridges
+// BGP convergence too. See TestF2TreeFastRerouteUnderBGP.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/netaddr"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Config carries the protocol timers.
+type Config struct {
+	// MRAI is the per-session minimum route advertisement interval. The
+	// Internet default is 30 s; data centers tune it down but rarely to
+	// zero. Convergence takes O(path-exploration depth × MRAI).
+	MRAI time.Duration
+	// ProcDelay is the per-update processing + propagation delay.
+	ProcDelay time.Duration
+	// FIBUpdateDelay is the best-path → forwarding-table install delay.
+	FIBUpdateDelay time.Duration
+}
+
+// DefaultConfig uses DC-tuned values.
+func DefaultConfig() Config {
+	return Config{
+		MRAI:           200 * time.Millisecond,
+		ProcDelay:      time.Millisecond,
+		FIBUpdateDelay: 10 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MRAI == 0 {
+		c.MRAI = d.MRAI
+	}
+	if c.ProcDelay == 0 {
+		c.ProcDelay = d.ProcDelay
+	}
+	if c.FIBUpdateDelay == 0 {
+		c.FIBUpdateDelay = d.FIBUpdateDelay
+	}
+	return c
+}
+
+// advert is one prefix announcement: the AS path the advertiser offers
+// (path[0] is the advertiser, the last element the origin).
+type advert struct {
+	prefix netaddr.Prefix
+	path   []topo.NodeID
+}
+
+// update is a BGP UPDATE message.
+type update struct {
+	adverts   []advert
+	withdrawn []netaddr.Prefix
+}
+
+// session is per-link eBGP state.
+type session struct {
+	link     topo.LinkID
+	neighbor topo.NodeID
+	port     int
+	up       bool
+
+	mraiUntil sim.Time
+	scheduled bool
+	// pending marks prefixes whose current best must be (re)advertised or
+	// withdrawn when MRAI allows.
+	pending map[netaddr.Prefix]bool
+}
+
+// best is a selected route for a prefix.
+type best struct {
+	pathLen int
+	// repr is the representative AS path (used when advertising onward).
+	repr []topo.NodeID
+	// hops is the ECMP next-hop set over all tied sessions.
+	hops []fib.NextHop
+	// originated marks locally sourced prefixes (ToR subnets).
+	originated bool
+}
+
+// Instance is a per-switch BGP speaker.
+type Instance struct {
+	d    *Domain
+	node topo.NodeID
+
+	sessions map[topo.LinkID]*session
+	// ribIn[prefix][link] is the path learned over that session.
+	ribIn  map[netaddr.Prefix]map[topo.LinkID][]topo.NodeID
+	locRib map[netaddr.Prefix]*best
+
+	fibPending bool
+	updatesRx  int
+}
+
+// Domain runs one instance per switch.
+type Domain struct {
+	sim  *sim.Simulator
+	nw   *network.Network
+	topo *topo.Topology
+	cfg  Config
+
+	instances map[topo.NodeID]*Instance
+	// bootstrapping suppresses timers: messages are pumped synchronously
+	// through a FIFO until convergence.
+	bootstrapping bool
+	bootQueue     []bootMsg
+}
+
+type bootMsg struct {
+	to   topo.NodeID
+	from topo.LinkID
+	upd  update
+}
+
+// NewDomain attaches BGP speakers to every switch.
+func NewDomain(nw *network.Network, cfg Config) *Domain {
+	d := &Domain{
+		sim:       nw.Sim(),
+		nw:        nw,
+		topo:      nw.Topology(),
+		cfg:       cfg.withDefaults(),
+		instances: make(map[topo.NodeID]*Instance),
+	}
+	for _, id := range d.topo.LiveNodes() {
+		if d.topo.Node(id).Kind == topo.Host {
+			continue
+		}
+		inst := &Instance{
+			d:        d,
+			node:     id,
+			sessions: make(map[topo.LinkID]*session),
+			ribIn:    make(map[netaddr.Prefix]map[topo.LinkID][]topo.NodeID),
+			locRib:   make(map[netaddr.Prefix]*best),
+		}
+		for _, l := range d.topo.LinksOf(id) {
+			other, ok := l.Other(id)
+			if !ok || d.topo.Node(other).Kind == topo.Host {
+				continue
+			}
+			port, _ := l.PortOf(id)
+			inst.sessions[l.ID] = &session{
+				link: l.ID, neighbor: other, port: port, up: true,
+				pending: make(map[netaddr.Prefix]bool),
+			}
+		}
+		d.instances[id] = inst
+	}
+	nw.OnPortState(d.portStateChanged)
+	return d
+}
+
+// Instance returns a switch's speaker, or nil.
+func (d *Domain) Instance(node topo.NodeID) *Instance { return d.instances[node] }
+
+// Config returns the effective configuration.
+func (d *Domain) Config() Config { return d.cfg }
+
+// UpdatesReceived returns how many UPDATE messages the instance processed
+// after bootstrap (convergence-traffic diagnostic).
+func (i *Instance) UpdatesReceived() int { return i.updatesRx }
+
+// Bootstrap originates every ToR subnet and pumps updates synchronously
+// (no MRAI, no delays) until the protocol converges, then installs every
+// FIB — a network that finished initial convergence before the experiment.
+func (d *Domain) Bootstrap() error {
+	d.bootstrapping = true
+	for _, inst := range d.instances {
+		nd := d.topo.Node(inst.node)
+		if nd.Kind != topo.ToR || nd.Subnet.IsZero() {
+			continue
+		}
+		inst.originate(nd.Subnet)
+	}
+	for len(d.bootQueue) > 0 {
+		m := d.bootQueue[0]
+		d.bootQueue = d.bootQueue[1:]
+		if inst := d.instances[m.to]; inst != nil {
+			inst.receive(0, m.from, m.upd)
+		}
+	}
+	d.bootstrapping = false
+	for _, inst := range d.instances {
+		if err := d.nw.Table(inst.node).ReplaceSource(fib.BGP, inst.routes()); err != nil {
+			return fmt.Errorf("bgp: bootstrap %s: %w", d.topo.Node(inst.node).Name, err)
+		}
+		inst.fibPending = false
+		inst.updatesRx = 0
+		for _, s := range inst.sessions {
+			s.mraiUntil = 0 // bootstrap chatter does not count against MRAI
+		}
+	}
+	return nil
+}
+
+// portStateChanged tears down or re-establishes the session on that port.
+func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up bool) {
+	inst := d.instances[node]
+	if inst == nil {
+		return
+	}
+	for _, s := range inst.sessions {
+		if s.port != port {
+			continue
+		}
+		if s.up == up {
+			return
+		}
+		s.up = up
+		if up {
+			// Session re-established: advertise the full table.
+			for p := range inst.locRib {
+				s.pending[p] = true
+			}
+			inst.kick(now, s)
+			return
+		}
+		// Session down: everything learned over it is implicitly
+		// withdrawn.
+		var affected []netaddr.Prefix
+		for p, byLink := range inst.ribIn {
+			if _, ok := byLink[s.link]; ok {
+				delete(byLink, s.link)
+				affected = append(affected, p)
+			}
+		}
+		inst.reselect(now, affected)
+		return
+	}
+}
+
+// originate injects a locally sourced prefix.
+func (i *Instance) originate(p netaddr.Prefix) {
+	i.locRib[p] = &best{originated: true, repr: nil, pathLen: 0}
+	for _, s := range i.sessions {
+		s.pending[p] = true
+		i.kick(0, s)
+	}
+}
+
+// receive processes an UPDATE arriving over link `from`.
+func (i *Instance) receive(now sim.Time, from topo.LinkID, upd update) {
+	i.updatesRx++
+	s := i.sessions[from]
+	if s == nil || !s.up {
+		return
+	}
+	var affected []netaddr.Prefix
+	for _, a := range upd.adverts {
+		if containsNode(a.path, i.node) {
+			// Loop prevention. An UPDATE replaces the neighbor's previous
+			// announcement (RFC 4271): a rejected path implicitly
+			// withdraws whatever this session advertised before —
+			// otherwise a stale pre-failure route lingers and forwarding
+			// loops form.
+			if byLink := i.ribIn[a.prefix]; byLink != nil {
+				if _, ok := byLink[from]; ok {
+					delete(byLink, from)
+					affected = append(affected, a.prefix)
+				}
+			}
+			continue
+		}
+		byLink := i.ribIn[a.prefix]
+		if byLink == nil {
+			byLink = make(map[topo.LinkID][]topo.NodeID, 2)
+			i.ribIn[a.prefix] = byLink
+		}
+		byLink[from] = a.path
+		affected = append(affected, a.prefix)
+	}
+	for _, p := range upd.withdrawn {
+		if byLink := i.ribIn[p]; byLink != nil {
+			if _, ok := byLink[from]; ok {
+				delete(byLink, from)
+				affected = append(affected, p)
+			}
+		}
+	}
+	i.reselect(now, affected)
+}
+
+// reselect recomputes best paths for the prefixes and floods changes.
+func (i *Instance) reselect(now sim.Time, prefixes []netaddr.Prefix) {
+	changed := false
+	for _, p := range dedupePrefixes(prefixes) {
+		old := i.locRib[p]
+		if old != nil && old.originated {
+			continue // locally sourced beats everything
+		}
+		nb := i.selectBest(p)
+		if bestEqual(old, nb) {
+			continue
+		}
+		changed = true
+		if nb == nil {
+			delete(i.locRib, p)
+		} else {
+			i.locRib[p] = nb
+		}
+		for _, s := range i.sessions {
+			s.pending[p] = true
+			i.kick(now, s)
+		}
+	}
+	if changed {
+		i.scheduleFIB(now)
+	}
+}
+
+// selectBest picks the multipath set of shortest AS paths over up
+// sessions.
+func (i *Instance) selectBest(p netaddr.Prefix) *best {
+	byLink := i.ribIn[p]
+	if len(byLink) == 0 {
+		return nil
+	}
+	links := make([]topo.LinkID, 0, len(byLink))
+	minLen := -1
+	for l, path := range byLink {
+		s := i.sessions[l]
+		if s == nil || !s.up {
+			continue
+		}
+		if minLen == -1 || len(path) < minLen {
+			minLen = len(path)
+		}
+		links = append(links, l)
+	}
+	if minLen == -1 {
+		return nil
+	}
+	sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
+	nb := &best{pathLen: minLen}
+	for _, l := range links {
+		path := byLink[l]
+		if len(path) != minLen {
+			continue
+		}
+		s := i.sessions[l]
+		nb.hops = append(nb.hops, fib.NextHop{Port: s.port, Via: i.d.topo.Node(s.neighbor).Addr})
+		if nb.repr == nil {
+			nb.repr = path
+		}
+	}
+	if len(nb.hops) == 0 {
+		return nil
+	}
+	return nb
+}
+
+// kick arranges for the session's pending prefixes to be flushed, honoring
+// MRAI.
+func (i *Instance) kick(now sim.Time, s *session) {
+	if i.d.bootstrapping {
+		i.flush(now, s)
+		return
+	}
+	if s.scheduled || len(s.pending) == 0 || !s.up {
+		return
+	}
+	at := now
+	if s.mraiUntil > at {
+		at = s.mraiUntil
+	}
+	s.scheduled = true
+	i.d.sim.At(at, func(t sim.Time) {
+		s.scheduled = false
+		i.flush(t, s)
+	})
+}
+
+// flush sends one UPDATE carrying every pending prefix.
+func (i *Instance) flush(now sim.Time, s *session) {
+	if len(s.pending) == 0 || !s.up {
+		return
+	}
+	var upd update
+	prefixes := make([]netaddr.Prefix, 0, len(s.pending))
+	for p := range s.pending {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(a, b int) bool {
+		if prefixes[a].Addr() != prefixes[b].Addr() {
+			return prefixes[a].Addr() < prefixes[b].Addr()
+		}
+		return prefixes[a].Bits() < prefixes[b].Bits()
+	})
+	for _, p := range prefixes {
+		delete(s.pending, p)
+		b := i.locRib[p]
+		if b == nil {
+			upd.withdrawn = append(upd.withdrawn, p)
+			continue
+		}
+		path := append([]topo.NodeID{i.node}, b.repr...)
+		upd.adverts = append(upd.adverts, advert{prefix: p, path: path})
+	}
+	s.mraiUntil = now.Add(i.d.cfg.MRAI)
+	if i.d.bootstrapping {
+		i.d.bootQueue = append(i.d.bootQueue, bootMsg{to: s.neighbor, from: s.link, upd: upd})
+		return
+	}
+	link := s.link
+	neighbor := s.neighbor
+	i.d.sim.After(i.d.cfg.ProcDelay, func(at sim.Time) {
+		if !i.d.nw.LinkDirUp(link, i.node) {
+			return // lost on a dead wire
+		}
+		if ni := i.d.instances[neighbor]; ni != nil {
+			ni.receive(at, link, upd)
+		}
+	})
+}
+
+// scheduleFIB coalesces FIB rewrites.
+func (i *Instance) scheduleFIB(now sim.Time) {
+	if i.fibPending || i.d.bootstrapping {
+		return
+	}
+	i.fibPending = true
+	i.d.sim.After(i.d.cfg.FIBUpdateDelay, func(sim.Time) {
+		i.fibPending = false
+		_ = i.d.nw.Table(i.node).ReplaceSource(fib.BGP, i.routes())
+	})
+}
+
+// routes renders locRib as FIB routes (originated prefixes excluded: the
+// ToR reaches its own subnet via connected /32s).
+func (i *Instance) routes() []fib.Route {
+	prefixes := make([]netaddr.Prefix, 0, len(i.locRib))
+	for p, b := range i.locRib {
+		if b.originated || len(b.hops) == 0 {
+			continue
+		}
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(a, b int) bool { return prefixes[a].Addr() < prefixes[b].Addr() })
+	out := make([]fib.Route, 0, len(prefixes))
+	for _, p := range prefixes {
+		b := i.locRib[p]
+		hops := make([]fib.NextHop, len(b.hops))
+		copy(hops, b.hops)
+		out = append(out, fib.Route{Prefix: p, Source: fib.BGP, NextHops: hops})
+	}
+	return out
+}
+
+func containsNode(path []topo.NodeID, n topo.NodeID) bool {
+	for _, p := range path {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupePrefixes(ps []netaddr.Prefix) []netaddr.Prefix {
+	seen := make(map[netaddr.Prefix]bool, len(ps))
+	out := ps[:0]
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func bestEqual(a, b *best) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.originated != b.originated || a.pathLen != b.pathLen || len(a.hops) != len(b.hops) {
+		return false
+	}
+	for i := range a.hops {
+		if a.hops[i] != b.hops[i] {
+			return false
+		}
+	}
+	return true
+}

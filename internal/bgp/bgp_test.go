@@ -1,0 +1,279 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func buildBGP(t *testing.T, tp *topo.Topology, cfg Config) (*sim.Simulator, *network.Network, *Domain) {
+	t.Helper()
+	s := sim.New(13)
+	nw, err := network.New(s, tp, network.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDomain(nw, cfg)
+	if err := d.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	return s, nw, d
+}
+
+func flowBetween(tp *topo.Topology, a, b topo.NodeID) fib.FlowKey {
+	return fib.FlowKey{
+		Src: tp.Node(a).Addr, Dst: tp.Node(b).Addr,
+		Proto: network.ProtoUDP, SrcPort: 40000, DstPort: 9,
+	}
+}
+
+func TestBootstrapConvergesAllPairs(t *testing.T) {
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nw, _ := buildBGP(t, tp, Config{})
+	hosts := tp.NodesOfKind(topo.Host)
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			p, err := nw.PathTrace(a, flowBetween(tp, a, b))
+			if err != nil {
+				t.Fatalf("no path %s→%s: %v", tp.Node(a).Name, tp.Node(b).Name, err)
+			}
+			if h := p.Hops(); h != 2 && h != 4 && h != 6 {
+				t.Fatalf("path %s→%s hops = %d (BGP picked a non-shortest path)",
+					tp.Node(a).Name, tp.Node(b).Name, h)
+			}
+		}
+	}
+}
+
+func TestBootstrapInstallsMultipath(t *testing.T) {
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nw, _ := buildBGP(t, tp, Config{})
+	tor := tp.FindNode("tor-p0-0")
+	remote := tp.FindNode("tor-p3-1")
+	for _, r := range nw.Table(tor.ID).Routes() {
+		if r.Prefix == remote.Subnet {
+			if r.Source != fib.BGP {
+				t.Fatalf("route source = %v", r.Source)
+			}
+			if len(r.NextHops) != 2 {
+				t.Fatalf("multipath width = %d, want 2", len(r.NextHops))
+			}
+			return
+		}
+	}
+	t.Fatal("remote subnet route missing")
+}
+
+// probeOutage measures connectivity loss for a downward ToR–agg failure at
+// 380 ms.
+func probeOutage(t *testing.T, tp *topo.Topology, nw *network.Network, s *sim.Simulator, horizon sim.Time) time.Duration {
+	t.Helper()
+	hosts := tp.NodesOfKind(topo.Host)
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := flowBetween(tp, src, dst)
+	var arrivals []sim.Time
+	nw.SetHostReceiver(dst, func(now sim.Time, _ *network.Packet) {
+		arrivals = append(arrivals, now)
+	})
+	stop := s.Ticker(time.Millisecond, func(sim.Time) {
+		nw.SendFromHost(src, &network.Packet{Flow: flow, Size: 1488})
+	})
+	defer stop()
+	failAt := 380 * sim.Millisecond
+	s.At(failAt, func(sim.Time) {
+		p, err := nw.PathTrace(src, flow)
+		if err != nil {
+			t.Errorf("trace: %v", err)
+			return
+		}
+		nw.FailLink(p.Links[len(p.Links)-2])
+	})
+	if err := s.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) < 100 {
+		t.Fatalf("only %d probes delivered", len(arrivals))
+	}
+	return metrics.ConnectivityLoss(arrivals, failAt, horizon)
+}
+
+func TestFatTreeBGPRecoveryIsSlow(t *testing.T) {
+	// Downward failure under BGP: detection (60 ms) + hop-by-hop
+	// withdrawals/updates gated by MRAI → hundreds of ms.
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw, _ := buildBGP(t, tp, Config{})
+	loss := probeOutage(t, tp, nw, s, 3*sim.Second)
+	if loss < 70*time.Millisecond {
+		t.Fatalf("BGP recovery = %v, expected slower than detection", loss)
+	}
+	if loss > 1500*time.Millisecond {
+		t.Fatalf("BGP recovery = %v, expected convergence within a few MRAI rounds", loss)
+	}
+}
+
+func TestUpwardFailureStillECMPFast(t *testing.T) {
+	// Upward failures are repaired by multipath elimination at detection
+	// time, independent of BGP convergence.
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw, _ := buildBGP(t, tp, Config{})
+	hosts := tp.NodesOfKind(topo.Host)
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := flowBetween(tp, src, dst)
+	var arrivals []sim.Time
+	nw.SetHostReceiver(dst, func(now sim.Time, _ *network.Packet) { arrivals = append(arrivals, now) })
+	stop := s.Ticker(time.Millisecond, func(sim.Time) {
+		nw.SendFromHost(src, &network.Packet{Flow: flow, Size: 1488})
+	})
+	defer stop()
+	failAt := 380 * sim.Millisecond
+	s.At(failAt, func(sim.Time) {
+		p, err := nw.PathTrace(src, flow)
+		if err != nil {
+			t.Errorf("trace: %v", err)
+			return
+		}
+		nw.FailLink(p.Links[1]) // first ToR→agg uplink
+	})
+	if err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	loss := metrics.ConnectivityLoss(arrivals, failAt, 2*sim.Second)
+	if loss < 55*time.Millisecond || loss > 80*time.Millisecond {
+		t.Fatalf("upward recovery = %v, want ≈ 60 ms", loss)
+	}
+}
+
+func TestWithdrawalsPropagate(t *testing.T) {
+	// After convergence on a failure, the route through the dead link must
+	// be gone everywhere: paths avoid it.
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw, d := buildBGP(t, tp, Config{})
+	hosts := tp.NodesOfKind(topo.Host)
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := flowBetween(tp, src, dst)
+	p, err := nw.PathTrace(src, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := p.Links[len(p.Links)-2]
+	s.After(0, func(sim.Time) { nw.FailLink(failed) })
+	if err := s.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := nw.PathTrace(src, flow)
+	if err != nil {
+		t.Fatalf("no path after convergence: %v", err)
+	}
+	for _, l := range p2.Links {
+		if l == failed {
+			t.Fatal("converged path still uses failed link")
+		}
+	}
+	// Convergence generated update traffic.
+	total := 0
+	for _, id := range tp.NodesOfKind(topo.Agg) {
+		total += d.Instance(id).UpdatesReceived()
+	}
+	if total == 0 {
+		t.Fatal("no BGP updates observed")
+	}
+}
+
+func TestSessionRestoreReadvertises(t *testing.T) {
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw, _ := buildBGP(t, tp, Config{})
+	hosts := tp.NodesOfKind(topo.Host)
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := flowBetween(tp, src, dst)
+	p, err := nw.PathTrace(src, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := p.Links[len(p.Links)-2]
+	s.After(0, func(sim.Time) { nw.FailLink(failed) })
+	s.At(3*sim.Second, func(sim.Time) { nw.RestoreLink(failed) })
+	if err := s.Run(8 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The restored link must be back in the destination agg's table: the
+	// dest ToR's ECMP width at the agg layer recovers.
+	dstToR := p.Nodes[len(p.Nodes)-2]
+	agg := p.Nodes[len(p.Nodes)-3]
+	rs := nw.Table(agg).Routes()
+	found := false
+	for _, r := range rs {
+		if r.Prefix == tp.Node(dstToR).Subnet && r.Source == fib.BGP {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("agg lost the route to the restored ToR")
+	}
+	if _, err := nw.PathTrace(src, flow); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMRAIGatesUpdateRate(t *testing.T) {
+	// Flap a link rapidly: each neighbor session may emit at most one
+	// update per MRAI, bounding received updates.
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw, d := buildBGP(t, tp, Config{MRAI: 500 * time.Millisecond})
+	link := tp.LiveLinks()[40]
+	up := false
+	stop := s.Ticker(200*time.Millisecond, func(sim.Time) {
+		nw.SetLinkState(link.ID, up)
+		up = !up
+	})
+	defer stop()
+	if err := s.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// An instance adjacent to the flapping link processes bounded traffic:
+	// ≤ sessions × (horizon/MRAI) updates, with margin.
+	inst := d.Instance(link.A)
+	if inst == nil {
+		inst = d.Instance(link.B)
+	}
+	maxPerSession := int(10*time.Second/(500*time.Millisecond)) + 2
+	bound := len(inst.sessions) * maxPerSession * 2
+	if got := inst.UpdatesReceived(); got == 0 || got > bound {
+		t.Fatalf("updates = %d, want within (0, %d]", got, bound)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MRAI == 0 || cfg.ProcDelay == 0 || cfg.FIBUpdateDelay == 0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,256 @@
+// Package controller implements a centralized routing control plane for
+// the paper's §V "Centralized Routing DCNs" discussion (PortLand-style
+// [26]): switches report detected failures to a logically central
+// controller, which recomputes global shortest paths and pushes new FIBs
+// to every affected switch.
+//
+// Recovery then costs detect + report + recompute + install — better than
+// churning OSPF, but still a round trip through a remote brain. The
+// paper's point, reproduced here, is that F²Tree's backup routes bridge
+// that window too: the data plane reroutes locally the moment detection
+// fires, and the controller's eventual update merely restores optimal
+// paths.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Config carries the control-loop latencies.
+type Config struct {
+	// ReportDelay is the switch→controller failure-report latency.
+	ReportDelay time.Duration
+	// ComputeDelay is the controller's global route recomputation time
+	// (grows with fabric size in production; fixed here).
+	ComputeDelay time.Duration
+	// InstallDelay is the controller→switch push plus FIB install time.
+	InstallDelay time.Duration
+}
+
+// DefaultConfig models a mid-size deployment: the full loop costs ≈ 70 ms
+// on top of failure detection.
+func DefaultConfig() Config {
+	return Config{
+		ReportDelay:  2 * time.Millisecond,
+		ComputeDelay: 50 * time.Millisecond,
+		InstallDelay: 20 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ReportDelay == 0 {
+		c.ReportDelay = d.ReportDelay
+	}
+	if c.ComputeDelay == 0 {
+		c.ComputeDelay = d.ComputeDelay
+	}
+	if c.InstallDelay == 0 {
+		c.InstallDelay = d.InstallDelay
+	}
+	return c
+}
+
+// Controller is the central route computer.
+type Controller struct {
+	sim  *sim.Simulator
+	nw   *network.Network
+	topo *topo.Topology
+	cfg  Config
+
+	// view[link] is the controller's belief about link liveness, fed by
+	// switch reports.
+	view map[topo.LinkID]bool
+	// computePending coalesces reports that arrive while a recomputation
+	// is already scheduled.
+	computePending bool
+
+	recomputations int
+}
+
+// New attaches a controller to the network: it subscribes to every
+// switch's failure detector (the "report" path).
+func New(nw *network.Network, cfg Config) *Controller {
+	c := &Controller{
+		sim:  nw.Sim(),
+		nw:   nw,
+		topo: nw.Topology(),
+		cfg:  cfg.withDefaults(),
+		view: make(map[topo.LinkID]bool),
+	}
+	for _, l := range c.topo.LiveLinks() {
+		c.view[l.ID] = true
+	}
+	nw.OnPortState(c.portReport)
+	return c
+}
+
+// Recomputations returns how many global recomputations ran.
+func (c *Controller) Recomputations() int { return c.recomputations }
+
+// Bootstrap computes and installs the initial global routes synchronously.
+func (c *Controller) Bootstrap() error {
+	routes := c.computeAll()
+	for node, rs := range routes {
+		if err := c.nw.Table(node).ReplaceSource(fib.OSPF, rs); err != nil {
+			return fmt.Errorf("controller: bootstrap %s: %w", c.topo.Node(node).Name, err)
+		}
+	}
+	return nil
+}
+
+// portReport is invoked when a switch's detector notices a port change;
+// the switch sends a report that reaches the controller after ReportDelay.
+func (c *Controller) portReport(now sim.Time, node topo.NodeID, port int, up bool) {
+	if c.topo.Node(node).Kind == topo.Host {
+		return
+	}
+	l := c.topo.LinkOnPort(node, port)
+	if l == nil {
+		// Port currently has no live link in the static topology; find it
+		// among removed? Nothing to report.
+		return
+	}
+	linkID := l.ID
+	c.sim.After(c.cfg.ReportDelay, func(at sim.Time) {
+		if c.view[linkID] == up {
+			return // duplicate report from the other endpoint
+		}
+		c.view[linkID] = up
+		c.scheduleRecompute()
+	})
+}
+
+// scheduleRecompute coalesces bursts of reports into one recomputation.
+func (c *Controller) scheduleRecompute() {
+	if c.computePending {
+		return
+	}
+	c.computePending = true
+	c.sim.After(c.cfg.ComputeDelay, func(at sim.Time) {
+		c.computePending = false
+		c.recomputations++
+		routes := c.computeAll()
+		c.sim.After(c.cfg.InstallDelay, func(sim.Time) {
+			for node, rs := range routes {
+				// Install failures on a torn-down switch are tolerable.
+				_ = c.nw.Table(node).ReplaceSource(fib.OSPF, rs)
+			}
+		})
+	})
+}
+
+type edge struct {
+	to   topo.NodeID
+	link topo.LinkID
+}
+
+// computeAll runs BFS ECMP from every switch over the controller's current
+// view, producing routes to every ToR subnet.
+func (c *Controller) computeAll() map[topo.NodeID][]fib.Route {
+	// Build the believed-live switch graph once.
+	graph := make(map[topo.NodeID][]edge)
+	for _, l := range c.topo.LiveLinks() {
+		if !c.view[l.ID] {
+			continue
+		}
+		if c.topo.Node(l.A).Kind == topo.Host || c.topo.Node(l.B).Kind == topo.Host {
+			continue
+		}
+		graph[l.A] = append(graph[l.A], edge{to: l.B, link: l.ID})
+		graph[l.B] = append(graph[l.B], edge{to: l.A, link: l.ID})
+	}
+	for n := range graph {
+		es := graph[n]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].to != es[j].to {
+				return es[i].to < es[j].to
+			}
+			return es[i].link < es[j].link
+		})
+	}
+
+	out := make(map[topo.NodeID][]fib.Route)
+	for _, src := range c.topo.LiveNodes() {
+		nd := c.topo.Node(src)
+		if nd.Kind == topo.Host {
+			continue
+		}
+		out[src] = c.routesFrom(src, graph)
+	}
+	return out
+}
+
+// routesFrom is BFS with ECMP next-hop merging from src.
+func (c *Controller) routesFrom(src topo.NodeID, graph map[topo.NodeID][]edge) []fib.Route {
+	dist := map[topo.NodeID]int{src: 0}
+	nh := map[topo.NodeID]map[fib.NextHop]bool{}
+	frontier := []topo.NodeID{src}
+	for len(frontier) > 0 {
+		var next []topo.NodeID
+		seen := map[topo.NodeID]bool{}
+		for _, u := range frontier {
+			for _, e := range graph[u] {
+				dv, known := dist[e.to]
+				du := dist[u]
+				if known && dv < du+1 {
+					continue
+				}
+				if !known {
+					dist[e.to] = du + 1
+					if !seen[e.to] {
+						seen[e.to] = true
+						next = append(next, e.to)
+					}
+				}
+				set := nh[e.to]
+				if set == nil {
+					set = make(map[fib.NextHop]bool, 2)
+					nh[e.to] = set
+				}
+				if u == src {
+					l := c.topo.Link(e.link)
+					port, ok := l.PortOf(src)
+					if !ok {
+						continue
+					}
+					set[fib.NextHop{Port: port, Via: c.topo.Node(e.to).Addr}] = true
+				} else {
+					for h := range nh[u] {
+						set[h] = true
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	var routes []fib.Route
+	for _, tor := range c.topo.NodesOfKind(topo.ToR) {
+		if tor == src {
+			continue
+		}
+		set := nh[tor]
+		if len(set) == 0 {
+			continue
+		}
+		subnet := c.topo.Node(tor).Subnet
+		if subnet.IsZero() {
+			continue
+		}
+		hops := make([]fib.NextHop, 0, len(set))
+		for h := range set {
+			hops = append(hops, h)
+		}
+		sort.Slice(hops, func(i, j int) bool { return hops[i].Port < hops[j].Port })
+		routes = append(routes, fib.Route{Prefix: subnet, Source: fib.OSPF, NextHops: hops})
+	}
+	sort.Slice(routes, func(i, j int) bool { return routes[i].Prefix.Addr() < routes[j].Prefix.Addr() })
+	return routes
+}

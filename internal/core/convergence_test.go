@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/fib"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// hostReachable computes ground truth: is there a physical path between
+// two hosts over non-failed links?
+func hostReachable(t *topo.Topology, failed map[topo.LinkID]bool, a, b topo.NodeID) bool {
+	visited := map[topo.NodeID]bool{a: true}
+	queue := []topo.NodeID{a}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == b {
+			return true
+		}
+		for _, l := range t.LinksOf(n) {
+			if failed[l.ID] {
+				continue
+			}
+			if o, ok := l.Other(n); ok && !visited[o] {
+				visited[o] = true
+				queue = append(queue, o)
+			}
+		}
+	}
+	return false
+}
+
+// TestConvergenceMatchesPhysicalReachability is the repository's strongest
+// end-to-end property: inject random failure sets, let OSPF fully
+// converge, then require the data plane to reach exactly the hosts the
+// surviving physical graph can reach — no stuck blackholes, no phantom
+// routes, no loops.
+func TestConvergenceMatchesPhysicalReachability(t *testing.T) {
+	schemes := []struct {
+		name  string
+		build func() (*topo.Topology, error)
+	}{
+		{"fattree", func() (*topo.Topology, error) { return topo.FatTree(4) }},
+		{"f2tree", func() (*topo.Topology, error) { return topo.F2Tree(6) }},
+	}
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			for trial := 0; trial < 12; trial++ {
+				tp, err := scheme.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				lab, err := NewLab(LabConfig{Topology: tp, Seed: int64(trial + 1)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Fail 1–4 random fabric links.
+				var candidates []topo.LinkID
+				for _, l := range tp.LiveLinks() {
+					if l.Class != topo.HostLink {
+						candidates = append(candidates, l.ID)
+					}
+				}
+				failed := map[topo.LinkID]bool{}
+				for len(failed) < 1+rng.Intn(4) {
+					failed[candidates[rng.Intn(len(candidates))]] = true
+				}
+				for id := range failed {
+					lab.Net.FailLink(id)
+				}
+				// Far beyond worst-case convergence (SPF holds included).
+				if err := lab.Sim.Run(30 * sim.Second); err != nil {
+					t.Fatal(err)
+				}
+				hosts := tp.NodesOfKind(topo.Host)
+				// Sample host pairs rather than all O(n²).
+				for probe := 0; probe < 40; probe++ {
+					a := hosts[rng.Intn(len(hosts))]
+					b := hosts[rng.Intn(len(hosts))]
+					if a == b {
+						continue
+					}
+					flow := fib.FlowKey{
+						Src: tp.Node(a).Addr, Dst: tp.Node(b).Addr,
+						Proto: network.ProtoUDP, SrcPort: uint16(1000 + probe), DstPort: 9,
+					}
+					_, err := lab.Net.PathTrace(a, flow)
+					want := hostReachable(tp, failed, a, b)
+					if want && err != nil {
+						t.Fatalf("trial %d: %s→%s physically reachable but data plane says %v (failed: %v)",
+							trial, tp.Node(a).Name, tp.Node(b).Name, err, failed)
+					}
+					if !want && err == nil {
+						t.Fatalf("trial %d: %s→%s unreachable but a path traced",
+							trial, tp.Node(a).Name, tp.Node(b).Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConvergenceAfterConditionAndRepair exercises every Table IV
+// condition followed by full repair: the fabric must return to exactly its
+// pre-failure ECMP richness.
+func TestConvergenceAfterConditionAndRepair(t *testing.T) {
+	for _, cond := range failure.AllConditions() {
+		cond := cond
+		tp, err := topo.F2Tree(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := NewLab(LabConfig{Topology: tp, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, dst := lab.LeftmostHost(), lab.RightmostHost()
+		flow := fib.FlowKey{
+			Src: tp.Node(src).Addr, Dst: tp.Node(dst).Addr,
+			Proto: network.ProtoUDP, SrcPort: 40000, DstPort: 9,
+		}
+		before := lab.Net.Table(src).Routes()
+		path, err := lab.Net.PathTrace(src, flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := failure.ConditionLinks(tp, cond, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range links {
+			lab.Net.FailLink(id)
+		}
+		lab.Sim.At(10*sim.Second, func(sim.Time) {
+			for _, id := range links {
+				lab.Net.RestoreLink(id)
+			}
+		})
+		if err := lab.Sim.Run(40 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		after := lab.Net.Table(src).Routes()
+		if len(before) != len(after) {
+			t.Fatalf("%v: route count %d → %d after repair", cond, len(before), len(after))
+		}
+		for i := range before {
+			if before[i].Prefix != after[i].Prefix || len(before[i].NextHops) != len(after[i].NextHops) {
+				t.Fatalf("%v: route %v changed after repair: %v → %v",
+					cond, before[i].Prefix, before[i].NextHops, after[i].NextHops)
+			}
+		}
+	}
+}

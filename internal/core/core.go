@@ -1,0 +1,367 @@
+// Package core implements the paper's contribution: the F²Tree rewiring
+// and configuration scheme. Given a multi-rooted tree whose aggregation
+// and core layers have been rewired into rings of across links (package
+// topo builds those), core generates and installs the two static backup
+// routes per switch that make local fast rerouting work:
+//
+//   - the DCN prefix (e.g. 10.11.0.0/16) via the right across neighbor, and
+//   - the covering prefix (10.10.0.0/15) via the left across neighbor.
+//
+// Both sit under every OSPF-learned /24, are never redistributed, and win a
+// forwarding lookup only when the longer prefix's next hops are locally
+// known dead — turning a downward link failure into one extra hop around
+// the ring instead of a control-plane convergence (paper §II-B).
+//
+// core also assembles the full experiment stack (Lab): topology → data
+// plane → OSPF → backup routes, bootstrapped to a converged state.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/controller"
+	"repro/internal/fib"
+	"repro/internal/netaddr"
+	"repro/internal/network"
+	"repro/internal/ospf"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Direction says which way around the ring a backup route points.
+type Direction int
+
+// Ring directions.
+const (
+	Right Direction = iota + 1
+	Left
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Right {
+		return "right"
+	}
+	return "left"
+}
+
+// BackupRoute is one static route of the F²Tree configuration — a row like
+// the last two lines of the paper's Table II.
+type BackupRoute struct {
+	// Switch is the configured aggregation or core switch.
+	Switch topo.NodeID
+	// Prefix is the static destination (DCN prefix for rightward routes,
+	// covering prefix for leftward; wider rings extend the chain).
+	Prefix netaddr.Prefix
+	// Port is the local across-link port the route uses.
+	Port int
+	// Via is the across neighbor's address.
+	Via netaddr.Addr
+	// Direction records which neighbor this is.
+	Direction Direction
+}
+
+// Plan is the complete static-route configuration for a rewired topology.
+type Plan struct {
+	Routes []BackupRoute
+}
+
+// RoutesFor returns the backup routes configured on one switch.
+func (p Plan) RoutesFor(n topo.NodeID) []BackupRoute {
+	var out []BackupRoute
+	for _, r := range p.Routes {
+		if r.Switch == n {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PlanBackupRoutes computes the static backup routes for every ring member
+// of t. Rightward routes receive longer prefixes than leftward ones so
+// that packets bounced between two failure-adjacent switches drift
+// rightward instead of looping (paper §II-B); wider rings (4 across links,
+// §II-C) extend the chain: right₁ gets the DCN prefix, right₂ its covering,
+// then left₁, left₂ successively shorter.
+func PlanBackupRoutes(t *topo.Topology) (Plan, error) {
+	var plan Plan
+	if t.Plan.DCNPrefix.IsZero() {
+		return plan, fmt.Errorf("core: topology %s has no DCN prefix", t.Name)
+	}
+	for ri := range t.Rings {
+		ring := &t.Rings[ri]
+		for pos, member := range ring.Members {
+			// Enumerate this member's across links: rights first (by ring
+			// distance), then lefts. The basic ring gives one of each;
+			// wide rings add chords which we classify by endpoint
+			// distance.
+			rights, lefts, err := acrossNeighbors(t, ring, pos)
+			if err != nil {
+				return Plan{}, err
+			}
+			prefix := t.Plan.DCNPrefix
+			emit := func(dir Direction, hops []hop) error {
+				for _, h := range hops {
+					plan.Routes = append(plan.Routes, BackupRoute{
+						Switch: member, Prefix: prefix, Port: h.port,
+						Via: t.Node(h.neighbor).Addr, Direction: dir,
+					})
+					var err error
+					prefix, err = prefix.Covering()
+					if err != nil {
+						return fmt.Errorf("core: prefix chain exhausted at %s", t.Node(member).Name)
+					}
+				}
+				return nil
+			}
+			if err := emit(Right, rights); err != nil {
+				return Plan{}, err
+			}
+			if err := emit(Left, lefts); err != nil {
+				return Plan{}, err
+			}
+		}
+	}
+	return plan, nil
+}
+
+type hop struct {
+	neighbor topo.NodeID
+	port     int
+}
+
+// acrossNeighbors classifies a ring member's across links into rightward
+// and leftward sets, ordered by ring distance.
+func acrossNeighbors(t *topo.Topology, ring *topo.Ring, pos int) (rights, lefts []hop, err error) {
+	member := ring.Members[pos]
+	k := len(ring.Members)
+	indexOf := make(map[topo.NodeID]int, k)
+	for i, m := range ring.Members {
+		indexOf[m] = i
+	}
+	// The canonical right/left links come from ring metadata so that the
+	// paper's 2-ring (parallel links to the same neighbor) keeps its two
+	// distinct ports.
+	rightLink := t.Link(ring.RightLink[pos])
+	rp, ok := rightLink.PortOf(member)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: ring link %d not on %s", rightLink.ID, t.Node(member).Name)
+	}
+	rn, _ := rightLink.Other(member)
+	rights = append(rights, hop{neighbor: rn, port: rp})
+
+	leftLink := t.Link(ring.RightLink[(pos-1+k)%k])
+	lp, ok := leftLink.PortOf(member)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: ring link %d not on %s", leftLink.ID, t.Node(member).Name)
+	}
+	ln, _ := leftLink.Other(member)
+	lefts = append(lefts, hop{neighbor: ln, port: lp})
+
+	// Wide-ring chords: any other across link of this member, classified
+	// by shortest ring distance (ties go rightward).
+	for _, l := range t.LinksOf(member) {
+		if l.Class != topo.AcrossLink || l.ID == rightLink.ID || l.ID == leftLink.ID {
+			continue
+		}
+		other, _ := l.Other(member)
+		oi, ok := indexOf[other]
+		if !ok {
+			continue // across link of a different ring (never happens today)
+		}
+		port, _ := l.PortOf(member)
+		rdist := (oi - pos + k) % k
+		ldist := (pos - oi + k) % k
+		if rdist <= ldist {
+			rights = append(rights, hop{neighbor: other, port: port})
+		} else {
+			lefts = append(lefts, hop{neighbor: other, port: port})
+		}
+	}
+	return rights, lefts, nil
+}
+
+// PlanEqualPrefixBackupRoutes builds the configuration the paper argues
+// AGAINST in §II-B: both across directions share the DCN prefix as one
+// ECMP route. When the downward links of two adjacent switches fail
+// together (condition C4), a packet rerouted rightward can be hashed
+// straight back leftward, looping until TTL death. Exists for the ablation
+// benchmarks.
+func PlanEqualPrefixBackupRoutes(t *topo.Topology) (Plan, error) {
+	plan, err := PlanBackupRoutes(t)
+	if err != nil {
+		return Plan{}, err
+	}
+	for i := range plan.Routes {
+		plan.Routes[i].Prefix = t.Plan.DCNPrefix
+	}
+	return plan, nil
+}
+
+// Apply installs the plan's static routes into the network's FIBs. The
+// routes are local to each switch and invisible to OSPF, exactly like the
+// paper's non-redistributed static configuration.
+func Apply(nw *network.Network, plan Plan) error {
+	// Merge routes sharing (switch, prefix) into one ECMP set — the
+	// normal plan never collides, but the equal-prefix ablation does.
+	type key struct {
+		sw     topo.NodeID
+		prefix netaddr.Prefix
+	}
+	merged := make(map[key][]fib.NextHop)
+	order := make([]key, 0, len(plan.Routes))
+	for _, r := range plan.Routes {
+		k := key{sw: r.Switch, prefix: r.Prefix}
+		if _, seen := merged[k]; !seen {
+			order = append(order, k)
+		}
+		merged[k] = append(merged[k], fib.NextHop{Port: r.Port, Via: r.Via})
+	}
+	for _, k := range order {
+		err := nw.Table(k.sw).Add(fib.Route{
+			Prefix: k.prefix, Source: fib.Static, NextHops: merged[k],
+		})
+		if err != nil {
+			return fmt.Errorf("core: install %v on %s: %w",
+				k.prefix, nw.Topology().Node(k.sw).Name, err)
+		}
+	}
+	return nil
+}
+
+// RewiringSummary quantifies a rewiring for display: across links added
+// and switches configured.
+type RewiringSummary struct {
+	Rings           int
+	AcrossLinks     int
+	SwitchesRewired int
+	BackupRoutes    int
+	SwitchesTotal   int
+	HostsSupported  int
+}
+
+// Summarize computes the rewiring summary of a topology and its plan.
+func Summarize(t *topo.Topology, plan Plan) RewiringSummary {
+	s := RewiringSummary{
+		Rings:          len(t.Rings),
+		SwitchesTotal:  t.SwitchCount(),
+		HostsSupported: t.HostCount(),
+		BackupRoutes:   len(plan.Routes),
+	}
+	seen := make(map[topo.NodeID]bool)
+	for _, l := range t.LiveLinks() {
+		if l.Class == topo.AcrossLink {
+			s.AcrossLinks++
+			seen[l.A] = true
+			seen[l.B] = true
+		}
+	}
+	s.SwitchesRewired = len(seen)
+	return s
+}
+
+// ControlPlane selects the routing brain of a Lab.
+type ControlPlane int
+
+// Control planes. The zero value is OSPF, the paper's primary setting.
+const (
+	ControlOSPF ControlPlane = iota
+	// ControlCentralized replaces OSPF with the §V centralized controller.
+	ControlCentralized
+	// ControlBGP replaces OSPF with the §V eBGP-style path-vector
+	// protocol (per-switch AS, MRAI-gated updates).
+	ControlBGP
+)
+
+// LabConfig assembles an experiment network.
+type LabConfig struct {
+	// Topology is the (already built) topology to instantiate.
+	Topology *topo.Topology
+	// Net, OSPF carry the data/control plane constants; zero values take
+	// the paper's defaults.
+	Net  network.Config
+	OSPF ospf.Config
+	// ControlPlane picks OSPF (default), the centralized controller or
+	// BGP.
+	ControlPlane ControlPlane
+	// Controller carries the centralized control-loop latencies.
+	Controller controller.Config
+	// BGP carries the path-vector protocol timers.
+	BGP bgp.Config
+	// Seed drives all randomness.
+	Seed int64
+	// DisableFastReroute skips backup-route installation even when the
+	// topology has rings (ablation).
+	DisableFastReroute bool
+}
+
+// Lab is a fully wired, converged network ready for experiments. Exactly
+// one of Domain (OSPF), Controller (centralized) and BGP is non-nil.
+type Lab struct {
+	Sim        *sim.Simulator
+	Topo       *topo.Topology
+	Net        *network.Network
+	Domain     *ospf.Domain
+	Controller *controller.Controller
+	BGP        *bgp.Domain
+	Plan       Plan
+}
+
+// NewLab builds the stack: simulator → data plane → control plane
+// (bootstrapped to convergence) → F²Tree backup routes (if the topology
+// has rings).
+func NewLab(cfg LabConfig) (*Lab, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: LabConfig.Topology is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid topology: %w", err)
+	}
+	s := sim.New(cfg.Seed)
+	nw, err := network.New(s, cfg.Topology, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	lab := &Lab{Sim: s, Topo: cfg.Topology, Net: nw}
+	switch cfg.ControlPlane {
+	case ControlCentralized:
+		lab.Controller = controller.New(nw, cfg.Controller)
+		if err := lab.Controller.Bootstrap(); err != nil {
+			return nil, err
+		}
+	case ControlBGP:
+		lab.BGP = bgp.NewDomain(nw, cfg.BGP)
+		if err := lab.BGP.Bootstrap(); err != nil {
+			return nil, err
+		}
+	default:
+		lab.Domain = ospf.NewDomain(nw, cfg.OSPF)
+		if err := lab.Domain.Bootstrap(); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.Topology.Rings) > 0 && !cfg.DisableFastReroute {
+		plan, err := PlanBackupRoutes(cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		if err := Apply(nw, plan); err != nil {
+			return nil, err
+		}
+		lab.Plan = plan
+	}
+	return lab, nil
+}
+
+// LeftmostHost returns the first live host (the paper's S).
+func (l *Lab) LeftmostHost() topo.NodeID {
+	hosts := l.Topo.NodesOfKind(topo.Host)
+	return hosts[0]
+}
+
+// RightmostHost returns the last live host (the paper's D).
+func (l *Lab) RightmostHost() topo.NodeID {
+	hosts := l.Topo.NodesOfKind(topo.Host)
+	return hosts[len(hosts)-1]
+}

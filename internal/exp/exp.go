@@ -1,0 +1,307 @@
+// Package exp defines one runnable experiment per table and figure of the
+// paper, producing the same rows and series the paper reports. The cmd
+// tools, examples and benchmarks all drive these definitions.
+//
+// Index (see DESIGN.md):
+//
+//	table1 — scalability formulas (Table I)
+//	fig2/table3 — k=4 testbed recovery, UDP + TCP (Fig 2, Table III)
+//	table4 — failure-condition catalog (Table IV)
+//	fig4 — k=8 per-condition recovery metrics (Fig 4)
+//	fig5 — end-to-end delay series during recovery (Fig 5)
+//	fig6 — partition-aggregate under random failures (Fig 6)
+//	fig7 — Leaf-Spine / VL2 variants (Fig 7, §V)
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/ospf"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// Scheme names a topology family.
+type Scheme string
+
+// Schemes usable in experiments.
+const (
+	SchemeFatTree     Scheme = "fattree"
+	SchemeF2Tree      Scheme = "f2tree"
+	SchemeF2Proto     Scheme = "f2tree-proto"
+	SchemeF2Wide      Scheme = "f2tree-wide"
+	SchemeLeafSpine   Scheme = "leafspine"
+	SchemeF2LeafSpine Scheme = "f2leafspine"
+	SchemeVL2         Scheme = "vl2"
+	SchemeF2VL2       Scheme = "f2vl2"
+	SchemeAspen       Scheme = "aspen"
+)
+
+// BuildTopology constructs the named scheme with n-port switches.
+func BuildTopology(s Scheme, n int) (*topo.Topology, error) {
+	switch s {
+	case SchemeFatTree:
+		return topo.FatTree(n)
+	case SchemeF2Tree:
+		return topo.F2Tree(n)
+	case SchemeF2Proto:
+		return topo.RewireFatTreePrototype(n)
+	case SchemeF2Wide:
+		return topo.F2TreeWide(n, 4)
+	case SchemeLeafSpine:
+		return topo.LeafSpine(n)
+	case SchemeF2LeafSpine:
+		return topo.F2LeafSpine(n)
+	case SchemeVL2:
+		return topo.VL2(n)
+	case SchemeF2VL2:
+		return topo.F2VL2(n)
+	case SchemeAspen:
+		return topo.AspenTree(n, 1)
+	default:
+		return nil, fmt.Errorf("exp: unknown scheme %q", s)
+	}
+}
+
+// RecoveryOptions parameterizes a single-flow recovery experiment (the
+// shape of the testbed §III and emulation §IV-A runs).
+type RecoveryOptions struct {
+	Scheme    Scheme
+	Ports     int
+	Condition failure.Condition
+	// FailAt is when the condition is injected (paper: 380 ms in Fig 2,
+	// 100 ms in Fig 5; default 380 ms).
+	FailAt sim.Time
+	// Horizon is the run length (default 2 s).
+	Horizon sim.Time
+	// BinWidth is the throughput bin (default 20 ms, as Fig 2).
+	BinWidth time.Duration
+	// SegmentBytes and SendInterval shape both flows (defaults 1448 B /
+	// 100 µs).
+	SegmentBytes int
+	SendInterval time.Duration
+	Seed         int64
+	// DisableFastReroute ablates the backup routes.
+	DisableFastReroute bool
+	// Centralized swaps OSPF for the §V controller-based control plane.
+	Centralized bool
+	// BGP swaps OSPF for the §V path-vector control plane.
+	BGP  bool
+	Net  network.Config
+	OSPF ospf.Config
+}
+
+func (o RecoveryOptions) withDefaults() RecoveryOptions {
+	if o.FailAt == 0 {
+		o.FailAt = 380 * sim.Millisecond
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 2 * sim.Second
+	}
+	if o.BinWidth == 0 {
+		o.BinWidth = 20 * time.Millisecond
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 1448
+	}
+	if o.SendInterval == 0 {
+		o.SendInterval = 100 * time.Microsecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// RecoveryResult carries every metric the paper derives from one run pair.
+type RecoveryResult struct {
+	Scheme    Scheme
+	Condition failure.Condition
+	FailAt    sim.Time
+	BinWidth  time.Duration
+
+	// UDP flow (Fig 2(a), Table III rows 1–2, Fig 4(a)(b), Fig 5).
+	ConnectivityLoss time.Duration
+	PacketsSent      uint64
+	PacketsLost      uint64
+	UDPBins          []metrics.Bin
+	Delays           []metrics.DelayPoint
+
+	// TCP flow (Fig 2(b), Table III row 3, Fig 4(c)).
+	CollapseDuration time.Duration
+	TCPBins          []metrics.Bin
+	TCPTimeouts      int
+}
+
+// RunRecovery executes the experiment: one UDP run and one TCP run over
+// fresh identical networks, injecting the failure condition on the flow's
+// own current path, exactly as the paper's testbed does.
+func RunRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
+	o := opts.withDefaults()
+	res := &RecoveryResult{
+		Scheme: o.Scheme, Condition: o.Condition,
+		FailAt: o.FailAt, BinWidth: o.BinWidth,
+	}
+	if err := runRecoveryUDP(o, res); err != nil {
+		return nil, fmt.Errorf("udp run: %w", err)
+	}
+	if err := runRecoveryTCP(o, res); err != nil {
+		return nil, fmt.Errorf("tcp run: %w", err)
+	}
+	return res, nil
+}
+
+// newLab builds a converged lab for the options.
+func newLab(o RecoveryOptions) (*core.Lab, error) {
+	tp, err := BuildTopology(o.Scheme, o.Ports)
+	if err != nil {
+		return nil, err
+	}
+	cp := core.ControlOSPF
+	if o.Centralized {
+		cp = core.ControlCentralized
+	}
+	if o.BGP {
+		cp = core.ControlBGP
+	}
+	return core.NewLab(core.LabConfig{
+		Topology: tp, Net: o.Net, OSPF: o.OSPF, ControlPlane: cp,
+		Seed: o.Seed, DisableFastReroute: o.DisableFastReroute,
+	})
+}
+
+// injectOnPath fails the condition's links relative to the flow's current
+// path at o.FailAt.
+func injectOnPath(lab *core.Lab, o RecoveryOptions, src topo.NodeID, flowOf func() ([]topo.LinkID, error)) {
+	lab.Sim.At(o.FailAt, func(sim.Time) {
+		links, err := flowOf()
+		if err != nil {
+			return
+		}
+		for _, id := range links {
+			lab.Net.FailLink(id)
+		}
+	})
+}
+
+func runRecoveryUDP(o RecoveryOptions, res *RecoveryResult) error {
+	lab, err := newLab(o)
+	if err != nil {
+		return err
+	}
+	src, dst := lab.LeftmostHost(), lab.RightmostHost()
+	srcStack, err := transport.NewStack(lab.Net, src)
+	if err != nil {
+		return err
+	}
+	dstStack, err := transport.NewStack(lab.Net, dst)
+	if err != nil {
+		return err
+	}
+	sink, err := dstStack.NewUDPSink(9)
+	if err != nil {
+		return err
+	}
+	source := srcStack.StartUDPSource(dstStack.Addr(), 9, o.SegmentBytes, o.SendInterval)
+	var condErr error
+	injectOnPath(lab, o, src, func() ([]topo.LinkID, error) {
+		path, err := lab.Net.PathTrace(src, source.FlowKey())
+		if err != nil {
+			condErr = err
+			return nil, err
+		}
+		links, err := failure.ConditionLinks(lab.Topo, o.Condition, path)
+		if err != nil {
+			condErr = err
+		}
+		return links, err
+	})
+	if err := lab.Sim.Run(o.Horizon); err != nil {
+		return err
+	}
+	if condErr != nil {
+		return condErr
+	}
+	source.Stop()
+
+	arrivalTimes := make([]sim.Time, 0, len(sink.Arrivals))
+	samples := make([]metrics.Sample, 0, len(sink.Arrivals))
+	res.Delays = make([]metrics.DelayPoint, 0, len(sink.Arrivals))
+	for _, a := range sink.Arrivals {
+		arrivalTimes = append(arrivalTimes, a.Arrived)
+		samples = append(samples, metrics.Sample{At: a.Arrived, Bytes: a.Size})
+		res.Delays = append(res.Delays, metrics.DelayPoint{SentAt: a.SentAt, Delay: a.Arrived.Sub(a.SentAt)})
+	}
+	res.ConnectivityLoss = metrics.ConnectivityLoss(arrivalTimes, o.FailAt, o.Horizon)
+	res.PacketsSent = source.Sent()
+	res.PacketsLost = source.Sent() - uint64(len(sink.Arrivals))
+	res.UDPBins = metrics.BinThroughput(samples, 0, o.Horizon, o.BinWidth)
+	return nil
+}
+
+func runRecoveryTCP(o RecoveryOptions, res *RecoveryResult) error {
+	lab, err := newLab(o)
+	if err != nil {
+		return err
+	}
+	src, dst := lab.LeftmostHost(), lab.RightmostHost()
+	srcStack, err := transport.NewStack(lab.Net, src)
+	if err != nil {
+		return err
+	}
+	dstStack, err := transport.NewStack(lab.Net, dst)
+	if err != nil {
+		return err
+	}
+	var samples []metrics.Sample
+	var prev int64
+	err = dstStack.Listen(80, func(_ sim.Time, c *transport.Conn) {
+		c.OnData(func(now sim.Time, total int64) {
+			samples = append(samples, metrics.Sample{At: now, Bytes: int(total - prev)})
+			prev = total
+		})
+	})
+	if err != nil {
+		return err
+	}
+	conn, err := srcStack.Dial(dstStack.Addr(), 80)
+	if err != nil {
+		return err
+	}
+	// Paced application: one segment per interval, as the paper's flows.
+	conn.OnEstablished(func(sim.Time) {
+		lab.Sim.Ticker(o.SendInterval, func(sim.Time) {
+			conn.Send(o.SegmentBytes)
+		})
+	})
+	var condErr error
+	injectOnPath(lab, o, src, func() ([]topo.LinkID, error) {
+		path, err := lab.Net.PathTrace(src, conn.FlowKey())
+		if err != nil {
+			condErr = err
+			return nil, err
+		}
+		links, err := failure.ConditionLinks(lab.Topo, o.Condition, path)
+		if err != nil {
+			condErr = err
+		}
+		return links, err
+	})
+	if err := lab.Sim.Run(o.Horizon); err != nil {
+		return err
+	}
+	if condErr != nil {
+		return condErr
+	}
+	res.TCPBins = metrics.BinThroughput(samples, 0, o.Horizon, o.BinWidth)
+	pre := metrics.PreFailureAverage(res.TCPBins, o.BinWidth, o.FailAt)
+	res.CollapseDuration = metrics.CollapseDuration(res.TCPBins, o.BinWidth, o.FailAt, pre, 2)
+	res.TCPTimeouts = conn.Timeouts()
+	return nil
+}

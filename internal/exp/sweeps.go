@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/network"
+	"repro/internal/ospf"
+)
+
+// SweepPoint is one (parameter, fat tree, F²Tree) measurement.
+type SweepPoint struct {
+	Param time.Duration
+	Fat   time.Duration
+	F2    time.Duration
+}
+
+// SweepResults holds a one-dimensional parameter sweep.
+type SweepResults struct {
+	Name   string
+	Points []SweepPoint
+}
+
+// RunDetectionSweep varies the failure-detection delay (BFD tuning):
+// F²Tree's recovery tracks it one-for-one; fat tree's stays SPF-bound.
+func RunDetectionSweep(seed int64) (*SweepResults, error) {
+	out := &SweepResults{Name: "failure-detection delay"}
+	for _, d := range []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 60 * time.Millisecond, 100 * time.Millisecond} {
+		fat, err := RunRecovery(RecoveryOptions{
+			Scheme: SchemeFatTree, Ports: 8, Condition: failure.C1, Seed: seed,
+			Net: network.Config{DetectionDelay: d},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fat %v: %w", d, err)
+		}
+		f2, err := RunRecovery(RecoveryOptions{
+			Scheme: SchemeF2Tree, Ports: 8, Condition: failure.C1, Seed: seed,
+			Net: network.Config{DetectionDelay: d},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("f2 %v: %w", d, err)
+		}
+		out.Points = append(out.Points, SweepPoint{Param: d, Fat: fat.ConnectivityLoss, F2: f2.ConnectivityLoss})
+	}
+	return out, nil
+}
+
+// RunFIBSweep varies the FIB install delay — the component that grows with
+// table size in big fabrics. F²Tree never touches the FIB on failure.
+func RunFIBSweep(seed int64) (*SweepResults, error) {
+	out := &SweepResults{Name: "FIB update delay"}
+	for _, d := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
+		cfg := ospf.Config{FIBUpdateDelay: d}
+		fat, err := RunRecovery(RecoveryOptions{
+			Scheme: SchemeFatTree, Ports: 8, Condition: failure.C1, Seed: seed, OSPF: cfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fat %v: %w", d, err)
+		}
+		f2, err := RunRecovery(RecoveryOptions{
+			Scheme: SchemeF2Tree, Ports: 8, Condition: failure.C1, Seed: seed, OSPF: cfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("f2 %v: %w", d, err)
+		}
+		out.Points = append(out.Points, SweepPoint{Param: d, Fat: fat.ConnectivityLoss, F2: f2.ConnectivityLoss})
+	}
+	return out, nil
+}
+
+// String renders the sweep as a table.
+func (r *SweepResults) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep: %s — C1 connectivity loss (ms)\n", r.Name)
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "param", "fat tree", "F2Tree")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %12.1f %12.1f\n", p.Param,
+			float64(p.Fat.Microseconds())/1000, float64(p.F2.Microseconds())/1000)
+	}
+	return b.String()
+}

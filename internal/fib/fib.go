@@ -1,0 +1,304 @@
+// Package fib implements a router forwarding table: longest-prefix-match
+// over routes with ECMP next-hop sets, per-source administrative distance,
+// and — crucially for F²Tree — fallback to shorter prefixes when every next
+// hop of a longer match is locally known to be unusable.
+//
+// That fallback is the data-plane mechanism the paper relies on (§II-B):
+// the static backup routes (DCN /16 via the right across neighbor, covering
+// /15 via the left across neighbor) are pre-installed under the OSPF /24s
+// and win a lookup only when the /24's next hops are all dead.
+package fib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netaddr"
+)
+
+// Source identifies the protocol that installed a route. Lower values win
+// when the same prefix is installed by several sources (administrative
+// distance).
+type Source int
+
+// Route sources in ascending administrative distance. Only one routing
+// protocol runs at a time in the simulator, so the OSPF/BGP relative order
+// never decides a lookup.
+const (
+	Connected Source = iota + 1
+	Static
+	OSPF
+	BGP
+)
+
+// String returns the conventional name of the source.
+func (s Source) String() string {
+	switch s {
+	case Connected:
+		return "connected"
+	case Static:
+		return "static"
+	case OSPF:
+		return "ospf"
+	case BGP:
+		return "bgp"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// NextHop is one egress choice: the local port to send on and the neighbor
+// address reached through it.
+type NextHop struct {
+	Port int
+	Via  netaddr.Addr
+}
+
+// String formats the next hop for diagnostics.
+func (n NextHop) String() string {
+	return fmt.Sprintf("via %v port %d", n.Via, n.Port)
+}
+
+// Route is a prefix with its ECMP next-hop set, installed by a source.
+type Route struct {
+	Prefix   netaddr.Prefix
+	Source   Source
+	NextHops []NextHop
+}
+
+// FlowKey is the five-tuple ECMP hashes on (RFC 2992 style hashing).
+type FlowKey struct {
+	Src, Dst         netaddr.Addr
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Hash returns a stable FNV-1a hash of the five-tuple.
+func (k FlowKey) Hash() uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	mix := func(b byte) { h = (h ^ uint32(b)) * prime }
+	for i := 24; i >= 0; i -= 8 {
+		mix(byte(k.Src >> i))
+	}
+	for i := 24; i >= 0; i -= 8 {
+		mix(byte(k.Dst >> i))
+	}
+	mix(k.Proto)
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	return h
+}
+
+// entry holds every route installed for one prefix, keyed by source.
+type entry struct {
+	bySource map[Source][]NextHop
+}
+
+// best returns the next hops of the lowest-distance source present.
+func (e *entry) best() []NextHop {
+	var (
+		bestSrc Source
+		hops    []NextHop
+	)
+	for src, nh := range e.bySource {
+		if len(nh) == 0 {
+			continue
+		}
+		if hops == nil || src < bestSrc {
+			bestSrc, hops = src, nh
+		}
+	}
+	return hops
+}
+
+// Table is a forwarding table. The zero value is not usable; call New.
+type Table struct {
+	// byLen[b] maps masked network addresses of length b to entries.
+	byLen [33]map[netaddr.Addr]*entry
+	count int
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{}
+}
+
+// Add installs (or replaces) the route for (prefix, source). Next hops are
+// kept sorted by port for deterministic ECMP. An empty next-hop set is an
+// error.
+func (t *Table) Add(r Route) error {
+	if len(r.NextHops) == 0 {
+		return fmt.Errorf("fib: route %v has no next hops", r.Prefix)
+	}
+	hops := make([]NextHop, len(r.NextHops))
+	copy(hops, r.NextHops)
+	sort.Slice(hops, func(i, j int) bool { return hops[i].Port < hops[j].Port })
+	b := r.Prefix.Bits()
+	if t.byLen[b] == nil {
+		t.byLen[b] = make(map[netaddr.Addr]*entry)
+	}
+	e := t.byLen[b][r.Prefix.Addr()]
+	if e == nil {
+		e = &entry{bySource: make(map[Source][]NextHop, 2)}
+		t.byLen[b][r.Prefix.Addr()] = e
+	}
+	if _, existed := e.bySource[r.Source]; !existed {
+		t.count++
+	}
+	e.bySource[r.Source] = hops
+	return nil
+}
+
+// Remove deletes the route for (prefix, source). Removing a route that is
+// not present is a no-op.
+func (t *Table) Remove(p netaddr.Prefix, src Source) {
+	b := p.Bits()
+	m := t.byLen[b]
+	if m == nil {
+		return
+	}
+	e := m[p.Addr()]
+	if e == nil {
+		return
+	}
+	if _, ok := e.bySource[src]; !ok {
+		return
+	}
+	delete(e.bySource, src)
+	t.count--
+	if len(e.bySource) == 0 {
+		delete(m, p.Addr())
+	}
+}
+
+// ReplaceSource atomically replaces every route of the given source with
+// the provided set. This models a routing protocol installing the result of
+// a fresh computation.
+func (t *Table) ReplaceSource(src Source, routes []Route) error {
+	for b := 0; b <= 32; b++ {
+		for addr, e := range t.byLen[b] {
+			if _, ok := e.bySource[src]; ok {
+				delete(e.bySource, src)
+				t.count--
+				if len(e.bySource) == 0 {
+					delete(t.byLen[b], addr)
+				}
+			}
+		}
+	}
+	for _, r := range routes {
+		r.Source = src
+		if err := t.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of installed (prefix, source) routes.
+func (t *Table) Len() int { return t.count }
+
+// Result is a successful lookup.
+type Result struct {
+	Prefix  netaddr.Prefix
+	NextHop NextHop
+}
+
+// Lookup finds the longest prefix containing dst whose best route has at
+// least one next hop for which usable returns true, then picks one by
+// hashing the flow key across the usable set. A nil usable accepts all.
+//
+// The shorter-prefix fallback happens here: if every next hop of the /24 is
+// unusable, the /16 is consulted, then the /15 — exactly the behaviour the
+// paper configures with its two static backup routes.
+func (t *Table) Lookup(dst netaddr.Addr, flow FlowKey, usable func(NextHop) bool) (Result, bool) {
+	var scratch [16]NextHop
+	for b := 32; b >= 0; b-- {
+		m := t.byLen[b]
+		if len(m) == 0 {
+			continue
+		}
+		p, err := netaddr.PrefixFrom(dst, b)
+		if err != nil {
+			continue
+		}
+		e := m[p.Addr()]
+		if e == nil {
+			continue
+		}
+		hops := e.best()
+		if len(hops) == 0 {
+			continue
+		}
+		live := scratch[:0]
+		for _, nh := range hops {
+			if usable == nil || usable(nh) {
+				live = append(live, nh)
+			}
+		}
+		if len(live) == 0 {
+			continue // fall through to a shorter prefix
+		}
+		pick := live[int(flow.Hash()%uint32(len(live)))]
+		return Result{Prefix: p, NextHop: pick}, true
+	}
+	return Result{}, false
+}
+
+// Routes returns every installed route, sorted by (bits desc, addr, source)
+// for stable diagnostics output.
+func (t *Table) Routes() []Route {
+	out := make([]Route, 0, t.count)
+	for b := 32; b >= 0; b-- {
+		m := t.byLen[b]
+		if len(m) == 0 {
+			continue
+		}
+		addrs := make([]netaddr.Addr, 0, len(m))
+		for a := range m {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			e := m[a]
+			srcs := make([]Source, 0, len(e.bySource))
+			for s := range e.bySource {
+				srcs = append(srcs, s)
+			}
+			sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+			p, err := netaddr.PrefixFrom(a, b)
+			if err != nil {
+				continue
+			}
+			for _, s := range srcs {
+				hops := make([]NextHop, len(e.bySource[s]))
+				copy(hops, e.bySource[s])
+				out = append(out, Route{Prefix: p, Source: s, NextHops: hops})
+			}
+		}
+	}
+	return out
+}
+
+// String renders the table like a router's "show ip route".
+func (t *Table) String() string {
+	var b strings.Builder
+	for _, r := range t.Routes() {
+		fmt.Fprintf(&b, "%-20v %-9s", r.Prefix, r.Source)
+		for i, nh := range r.NextHops {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %v", nh)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

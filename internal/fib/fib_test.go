@@ -1,0 +1,260 @@
+package fib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netaddr"
+)
+
+func mustAdd(t *testing.T, tbl *Table, prefix string, src Source, hops ...NextHop) {
+	t.Helper()
+	if err := tbl.Add(Route{Prefix: netaddr.MustParsePrefix(prefix), Source: src, NextHops: hops}); err != nil {
+		t.Fatalf("add %s: %v", prefix, err)
+	}
+}
+
+func allUsable(NextHop) bool { return true }
+
+func TestLongestPrefixWins(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.11.0.0/16", Static, NextHop{Port: 2})
+	mustAdd(t, tbl, "10.10.0.0/15", Static, NextHop{Port: 3})
+	res, ok := tbl.Lookup(netaddr.MustParseAddr("10.11.0.9"), FlowKey{}, allUsable)
+	if !ok || res.NextHop.Port != 1 {
+		t.Fatalf("lookup = %+v ok=%v, want port 1", res, ok)
+	}
+	if res.Prefix.String() != "10.11.0.0/24" {
+		t.Fatalf("matched %v, want /24", res.Prefix)
+	}
+}
+
+func TestFallbackToShorterPrefixWhenUnusable(t *testing.T) {
+	// The paper's Table II scenario: /24 via the failed downward link,
+	// /16 via the right across neighbor, /15 via the left.
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.11.0.0/16", Static, NextHop{Port: 2})
+	mustAdd(t, tbl, "10.10.0.0/15", Static, NextHop{Port: 3})
+	dst := netaddr.MustParseAddr("10.11.0.9")
+
+	dead := map[int]bool{1: true}
+	usable := func(nh NextHop) bool { return !dead[nh.Port] }
+	res, ok := tbl.Lookup(dst, FlowKey{}, usable)
+	if !ok || res.NextHop.Port != 2 {
+		t.Fatalf("first fallback = %+v, want right across (port 2)", res)
+	}
+
+	dead[2] = true
+	res, ok = tbl.Lookup(dst, FlowKey{}, usable)
+	if !ok || res.NextHop.Port != 3 {
+		t.Fatalf("second fallback = %+v, want left across (port 3)", res)
+	}
+
+	dead[3] = true
+	if _, ok := tbl.Lookup(dst, FlowKey{}, usable); ok {
+		t.Fatal("lookup should fail with every hop dead")
+	}
+}
+
+func TestAdminDistanceConnectedBeatsStaticBeatsOSPF(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.11.0.0/24", Static, NextHop{Port: 2})
+	mustAdd(t, tbl, "10.11.0.0/24", Connected, NextHop{Port: 3})
+	res, ok := tbl.Lookup(netaddr.MustParseAddr("10.11.0.5"), FlowKey{}, allUsable)
+	if !ok || res.NextHop.Port != 3 {
+		t.Fatalf("want connected (port 3), got %+v", res)
+	}
+	tbl.Remove(netaddr.MustParsePrefix("10.11.0.0/24"), Connected)
+	res, _ = tbl.Lookup(netaddr.MustParseAddr("10.11.0.5"), FlowKey{}, allUsable)
+	if res.NextHop.Port != 2 {
+		t.Fatalf("want static (port 2), got %+v", res)
+	}
+}
+
+func TestAdminDistanceLoserDoesNotServeFallback(t *testing.T) {
+	// If the best source's hops are all unusable, the lookup moves to a
+	// *shorter prefix*, not to a worse source at the same prefix — this is
+	// how real FIBs behave (only the winning route is installed).
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/24", Connected, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.11.0.0/24", OSPF, NextHop{Port: 2})
+	mustAdd(t, tbl, "10.11.0.0/16", Static, NextHop{Port: 9})
+	usable := func(nh NextHop) bool { return nh.Port != 1 }
+	res, ok := tbl.Lookup(netaddr.MustParseAddr("10.11.0.5"), FlowKey{}, usable)
+	if !ok || res.NextHop.Port != 9 {
+		t.Fatalf("want fallthrough to /16 (port 9), got %+v ok=%v", res, ok)
+	}
+}
+
+func TestECMPHashingIsDeterministicAndSpreads(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/16", OSPF,
+		NextHop{Port: 1}, NextHop{Port: 2}, NextHop{Port: 3}, NextHop{Port: 4})
+	dst := netaddr.MustParseAddr("10.11.3.3")
+	counts := map[int]int{}
+	for sp := 0; sp < 1000; sp++ {
+		flow := FlowKey{Src: netaddr.MustParseAddr("10.11.9.1"), Dst: dst, Proto: 6, SrcPort: uint16(sp), DstPort: 80}
+		r1, ok1 := tbl.Lookup(dst, flow, allUsable)
+		r2, ok2 := tbl.Lookup(dst, flow, allUsable)
+		if !ok1 || !ok2 || r1.NextHop != r2.NextHop {
+			t.Fatal("ECMP pick not deterministic per flow")
+		}
+		counts[r1.NextHop.Port]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("expected all 4 ports used, got %v", counts)
+	}
+	for port, c := range counts {
+		if c < 150 || c > 350 {
+			t.Fatalf("port %d got %d of 1000 flows; poor spread %v", port, c, counts)
+		}
+	}
+}
+
+func TestECMPEliminationKeepsFlowOnSurvivors(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/16", OSPF, NextHop{Port: 1}, NextHop{Port: 2})
+	dst := netaddr.MustParseAddr("10.11.1.1")
+	flow := FlowKey{Src: 1, Dst: dst, Proto: 17, SrcPort: 5, DstPort: 6}
+	usable := func(nh NextHop) bool { return nh.Port != 1 }
+	res, ok := tbl.Lookup(dst, flow, usable)
+	if !ok || res.NextHop.Port != 2 {
+		t.Fatalf("elimination failed: %+v", res)
+	}
+}
+
+func TestReplaceSourceSwapsAtomically(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.11.1.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.11.0.0/16", Static, NextHop{Port: 7})
+	err := tbl.ReplaceSource(OSPF, []Route{
+		{Prefix: netaddr.MustParsePrefix("10.11.2.0/24"), NextHops: []NextHop{{Port: 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (1 ospf + 1 static)", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(netaddr.MustParseAddr("10.11.2.9"), FlowKey{}, allUsable); !ok {
+		t.Fatal("new OSPF route missing")
+	}
+	res, ok := tbl.Lookup(netaddr.MustParseAddr("10.11.0.9"), FlowKey{}, allUsable)
+	if !ok || res.NextHop.Port != 7 {
+		t.Fatalf("static should remain after replace, got %+v", res)
+	}
+}
+
+func TestAddRejectsEmptyNextHops(t *testing.T) {
+	tbl := New()
+	err := tbl.Add(Route{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Source: Static})
+	if err == nil {
+		t.Fatal("empty next-hop route accepted")
+	}
+}
+
+func TestRemoveMissingIsNoOp(t *testing.T) {
+	tbl := New()
+	tbl.Remove(netaddr.MustParsePrefix("10.0.0.0/8"), Static)
+	mustAdd(t, tbl, "10.0.0.0/8", OSPF, NextHop{Port: 1})
+	tbl.Remove(netaddr.MustParsePrefix("10.0.0.0/8"), Static)
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "0.0.0.0/0", Static, NextHop{Port: 1})
+	if _, ok := tbl.Lookup(netaddr.MustParseAddr("203.0.113.7"), FlowKey{}, allUsable); !ok {
+		t.Fatal("default route did not match")
+	}
+}
+
+func TestRoutesSortedStable(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.11.0.0/16", Static, NextHop{Port: 2})
+	mustAdd(t, tbl, "10.11.0.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.10.0.0/15", Static, NextHop{Port: 3})
+	rs := tbl.Routes()
+	if len(rs) != 3 {
+		t.Fatalf("routes = %d", len(rs))
+	}
+	if rs[0].Prefix.Bits() != 24 || rs[1].Prefix.Bits() != 16 || rs[2].Prefix.Bits() != 15 {
+		t.Fatalf("order wrong: %v", rs)
+	}
+	if tbl.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestFlowKeyHashDistinguishesFields(t *testing.T) {
+	base := FlowKey{Src: 1, Dst: 2, Proto: 6, SrcPort: 3, DstPort: 4}
+	variants := []FlowKey{
+		{Src: 9, Dst: 2, Proto: 6, SrcPort: 3, DstPort: 4},
+		{Src: 1, Dst: 9, Proto: 6, SrcPort: 3, DstPort: 4},
+		{Src: 1, Dst: 2, Proto: 17, SrcPort: 3, DstPort: 4},
+		{Src: 1, Dst: 2, Proto: 6, SrcPort: 9, DstPort: 4},
+		{Src: 1, Dst: 2, Proto: 6, SrcPort: 3, DstPort: 9},
+	}
+	h := base.Hash()
+	for i, v := range variants {
+		if v.Hash() == h {
+			t.Errorf("variant %d hashes equal to base", i)
+		}
+	}
+}
+
+func TestPropertyLookupMatchesContainingPrefix(t *testing.T) {
+	// Whatever Lookup returns must be a prefix that contains dst, and no
+	// longer installed prefix containing dst may have a usable hop.
+	f := func(dstRaw uint32, bits8 uint8, seed uint32) bool {
+		tbl := New()
+		dst := netaddr.Addr(dstRaw)
+		// Install three nested prefixes around dst plus one decoy.
+		b1 := int(bits8 % 25) // 0..24
+		b2 := b1 + 4          // longer
+		decoy := netaddr.Addr(seed)
+		p1, err := netaddr.PrefixFrom(dst, b1)
+		if err != nil {
+			return false
+		}
+		p2, err := netaddr.PrefixFrom(dst, b2)
+		if err != nil {
+			return false
+		}
+		if err := tbl.Add(Route{Prefix: p1, Source: Static, NextHops: []NextHop{{Port: 1}}}); err != nil {
+			return false
+		}
+		if err := tbl.Add(Route{Prefix: p2, Source: OSPF, NextHops: []NextHop{{Port: 2}}}); err != nil {
+			return false
+		}
+		dp, err := netaddr.PrefixFrom(decoy, 28)
+		if err != nil {
+			return false
+		}
+		_ = tbl.Add(Route{Prefix: dp, Source: OSPF, NextHops: []NextHop{{Port: 3}}})
+
+		res, ok := tbl.Lookup(dst, FlowKey{Dst: dst}, allUsable)
+		if !ok {
+			return false
+		}
+		if !res.Prefix.Contains(dst) {
+			return false
+		}
+		// Longest containing installed prefix is p2 unless decoy is longer
+		// and contains dst.
+		want := p2
+		if dp.Bits() > p2.Bits() && dp.Contains(dst) {
+			want = dp
+		}
+		return res.Prefix == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package fib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netaddr"
+)
+
+// refTable is a brute-force reference implementation: a flat list of
+// routes, scanned linearly on lookup.
+type refTable struct {
+	routes []Route
+}
+
+func (r *refTable) add(rt Route) {
+	for i := range r.routes {
+		if r.routes[i].Prefix == rt.Prefix && r.routes[i].Source == rt.Source {
+			r.routes[i] = rt
+			return
+		}
+	}
+	r.routes = append(r.routes, rt)
+}
+
+func (r *refTable) remove(p netaddr.Prefix, src Source) {
+	out := r.routes[:0]
+	for _, rt := range r.routes {
+		if rt.Prefix == p && rt.Source == src {
+			continue
+		}
+		out = append(out, rt)
+	}
+	r.routes = out
+}
+
+func (r *refTable) replaceSource(src Source, rs []Route) {
+	out := r.routes[:0]
+	for _, rt := range r.routes {
+		if rt.Source != src {
+			out = append(out, rt)
+		}
+	}
+	r.routes = out
+	for _, rt := range rs {
+		rt.Source = src
+		r.add(rt)
+	}
+}
+
+// lookup mirrors Table.Lookup semantics: longest prefix whose best-source
+// route has a usable hop.
+func (r *refTable) lookup(dst netaddr.Addr, usable func(NextHop) bool) (netaddr.Prefix, bool) {
+	for bits := 32; bits >= 0; bits-- {
+		p, err := netaddr.PrefixFrom(dst, bits)
+		if err != nil {
+			continue
+		}
+		var bestRt *Route
+		for i := range r.routes {
+			rt := &r.routes[i]
+			if rt.Prefix != p {
+				continue
+			}
+			if bestRt == nil || rt.Source < bestRt.Source {
+				bestRt = rt
+			}
+		}
+		if bestRt == nil {
+			continue
+		}
+		for _, nh := range bestRt.NextHops {
+			if usable == nil || usable(nh) {
+				return p, true
+			}
+		}
+	}
+	return netaddr.Prefix{}, false
+}
+
+// TestTableAgainstReferenceModel drives random operation sequences through
+// both implementations and compares every lookup.
+func TestTableAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// A small universe so prefixes collide often.
+	addrs := []netaddr.Addr{
+		netaddr.MustParseAddr("10.11.0.0"),
+		netaddr.MustParseAddr("10.11.1.0"),
+		netaddr.MustParseAddr("10.11.0.128"),
+		netaddr.MustParseAddr("10.10.0.0"),
+		netaddr.MustParseAddr("10.12.3.0"),
+	}
+	bitsChoices := []int{8, 15, 16, 24, 25, 32}
+	sources := []Source{Connected, Static, OSPF, BGP}
+
+	randomPrefix := func() netaddr.Prefix {
+		p, err := netaddr.PrefixFrom(addrs[rng.Intn(len(addrs))], bitsChoices[rng.Intn(len(bitsChoices))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	randomHops := func() []NextHop {
+		n := 1 + rng.Intn(4)
+		hops := make([]NextHop, 0, n)
+		seen := map[int]bool{}
+		for len(hops) < n {
+			port := rng.Intn(8)
+			if seen[port] {
+				continue
+			}
+			seen[port] = true
+			hops = append(hops, NextHop{Port: port})
+		}
+		return hops
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		tbl := New()
+		ref := &refTable{}
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // add
+				rt := Route{Prefix: randomPrefix(), Source: sources[rng.Intn(len(sources))], NextHops: randomHops()}
+				if err := tbl.Add(rt); err != nil {
+					t.Fatal(err)
+				}
+				ref.add(rt)
+			case 5, 6: // remove
+				p, src := randomPrefix(), sources[rng.Intn(len(sources))]
+				tbl.Remove(p, src)
+				ref.remove(p, src)
+			case 7: // replace a source wholesale
+				src := sources[rng.Intn(len(sources))]
+				n := rng.Intn(4)
+				rs := make([]Route, 0, n)
+				for j := 0; j < n; j++ {
+					rs = append(rs, Route{Prefix: randomPrefix(), NextHops: randomHops()})
+				}
+				if err := tbl.ReplaceSource(src, rs); err != nil {
+					t.Fatal(err)
+				}
+				ref.replaceSource(src, rs)
+			default: // lookups with a random usability mask
+				deadPort := rng.Intn(10) // ports ≥ 8 never exist → all usable
+				usable := func(nh NextHop) bool { return nh.Port != deadPort }
+				for _, base := range addrs {
+					dst := base + netaddr.Addr(rng.Intn(256))
+					got, okGot := tbl.Lookup(dst, FlowKey{Dst: dst, SrcPort: uint16(op)}, usable)
+					wantPrefix, okWant := ref.lookup(dst, usable)
+					if okGot != okWant {
+						t.Fatalf("trial %d op %d dst %v: ok=%v want %v\ntable:\n%s",
+							trial, op, dst, okGot, okWant, tbl.String())
+					}
+					if okGot && got.Prefix != wantPrefix {
+						t.Fatalf("trial %d op %d dst %v: prefix %v want %v",
+							trial, op, dst, got.Prefix, wantPrefix)
+					}
+					if okGot && !usable(got.NextHop) {
+						t.Fatalf("trial %d op %d: returned unusable hop", trial, op)
+					}
+				}
+			}
+		}
+		if tbl.Len() != len(ref.routes) {
+			t.Fatalf("trial %d: Len=%d ref=%d", trial, tbl.Len(), len(ref.routes))
+		}
+	}
+}

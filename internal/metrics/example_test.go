@@ -1,0 +1,51 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ExampleConnectivityLoss extracts the paper's headline metric from an
+// arrival trace.
+func ExampleConnectivityLoss() {
+	var arrivals []sim.Time
+	for ms := 1; ms <= 100; ms++ {
+		arrivals = append(arrivals, sim.Time(ms)*sim.Millisecond)
+	}
+	// Outage: nothing arrives between 100 ms and 372 ms.
+	for ms := 372; ms <= 400; ms++ {
+		arrivals = append(arrivals, sim.Time(ms)*sim.Millisecond)
+	}
+	loss := metrics.ConnectivityLoss(arrivals, 100*sim.Millisecond, 400*sim.Millisecond)
+	fmt.Println(loss)
+	// Output:
+	// 272ms
+}
+
+// ExampleCDF computes a tail fraction like Fig 6(b).
+func ExampleCDF() {
+	c := metrics.NewCDF([]float64{0.001, 0.002, 0.003, 0.250, 0.900})
+	fmt.Printf("fraction above 100ms: %.0f%%\n", c.FractionAbove(0.1)*100)
+	// Output:
+	// fraction above 100ms: 40%
+}
+
+// ExampleBinThroughput buckets deliveries into Fig 2's 20 ms bins.
+func ExampleBinThroughput() {
+	samples := []metrics.Sample{
+		{At: 5 * sim.Millisecond, Bytes: 1000},
+		{At: 15 * sim.Millisecond, Bytes: 1000},
+		{At: 25 * sim.Millisecond, Bytes: 500},
+	}
+	bins := metrics.BinThroughput(samples, 0, 40*sim.Millisecond, 20*time.Millisecond)
+	for _, b := range bins {
+		fmt.Printf("%dms: %d bytes\n", b.Start.Duration().Milliseconds(), b.Bytes)
+	}
+	// Output:
+	// 0ms: 2000 bytes
+	// 20ms: 500 bytes
+	// 40ms: 0 bytes
+}

@@ -1,0 +1,212 @@
+// Package metrics extracts the quantities the paper reports from raw
+// packet and flow traces: binned throughput (Fig 2), connectivity-loss
+// duration and packet loss (Table III, Fig 4), TCP throughput-collapse
+// duration (Table III, Fig 4), end-to-end delay series (Fig 5) and
+// completion-time CDFs / deadline-miss ratios (Fig 6).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Sample is one delivered unit: arrival time and size.
+type Sample struct {
+	At    sim.Time
+	Bytes int
+}
+
+// Bin is one throughput bin.
+type Bin struct {
+	Start sim.Time
+	Bytes int
+}
+
+// Mbps returns the bin's average rate given the bin width.
+func (b Bin) Mbps(width time.Duration) float64 {
+	if width <= 0 {
+		return 0
+	}
+	return float64(b.Bytes*8) / width.Seconds() / 1e6
+}
+
+// BinThroughput buckets samples into fixed-width bins spanning [start, end).
+// Samples outside the span are ignored.
+func BinThroughput(samples []Sample, start, end sim.Time, width time.Duration) []Bin {
+	if end <= start || width <= 0 {
+		return nil
+	}
+	n := int(end.Sub(start)/width) + 1
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Start = start.Add(time.Duration(i) * width)
+	}
+	for _, s := range samples {
+		if s.At < start || s.At >= end {
+			continue
+		}
+		i := int(s.At.Sub(start) / width)
+		if i >= 0 && i < n {
+			bins[i].Bytes += s.Bytes
+		}
+	}
+	return bins
+}
+
+// ConnectivityLoss finds the outage the paper measures: the gap between the
+// last delivery before (or just after) failAt and the first delivery after
+// it. Returns 0 if deliveries never pause, and end−lastArrival if traffic
+// never resumes by end.
+func ConnectivityLoss(arrivals []sim.Time, failAt, end sim.Time) time.Duration {
+	if len(arrivals) == 0 {
+		return end.Sub(failAt)
+	}
+	times := append([]sim.Time(nil), arrivals...)
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	// Last arrival at or before the moment in-flight traffic drains
+	// (small grace for packets already past the failed hop).
+	const grace = 5 * time.Millisecond
+	lastBefore := -1
+	for i, t := range times {
+		if t <= failAt.Add(grace) {
+			lastBefore = i
+		}
+	}
+	if lastBefore == -1 {
+		// Nothing delivered before the failure; measure from failAt.
+		return times[0].Sub(failAt)
+	}
+	if lastBefore == len(times)-1 {
+		return end.Sub(times[lastBefore])
+	}
+	return times[lastBefore+1].Sub(times[lastBefore])
+}
+
+// CollapseDuration measures how long binned throughput stays below
+// half the pre-failure average after failAt — the paper's "duration of
+// throughput collapse". Recovery requires sustaining ≥ half for
+// `sustain` consecutive bins (2 is the paper-faithful choice at 20 ms
+// bins). Returns the duration from failAt to the start of the sustained
+// recovery, or end−failAt if it never recovers.
+func CollapseDuration(bins []Bin, width time.Duration, failAt sim.Time, preFailAvgBytes float64, sustain int) time.Duration {
+	if sustain < 1 {
+		sustain = 1
+	}
+	half := preFailAvgBytes / 2
+	firstIdx := -1
+	for i, b := range bins {
+		if b.Start.Add(width) > failAt {
+			firstIdx = i
+			break
+		}
+	}
+	if firstIdx == -1 {
+		return 0
+	}
+	for i := firstIdx; i < len(bins); i++ {
+		ok := true
+		for j := 0; j < sustain; j++ {
+			if i+j >= len(bins) || float64(bins[i+j].Bytes) < half {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if d := bins[i].Start.Sub(failAt); d > 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	if len(bins) == 0 {
+		return 0
+	}
+	last := bins[len(bins)-1].Start.Add(width)
+	return last.Sub(failAt)
+}
+
+// PreFailureAverage returns the average bytes/bin over bins entirely
+// before failAt.
+func PreFailureAverage(bins []Bin, width time.Duration, failAt sim.Time) float64 {
+	var sum, n float64
+	for _, b := range bins {
+		if b.Start.Add(width) <= failAt {
+			sum += float64(b.Bytes)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// DelayPoint is one end-to-end delay observation for Fig 5.
+type DelayPoint struct {
+	SentAt sim.Time
+	Delay  time.Duration
+}
+
+// CDF is an empirical distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from values (copied, then sorted).
+func NewCDF(values []float64) *CDF {
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	return &CDF{sorted: v}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Quantile returns the p-quantile (p in [0,1]) by nearest-rank.
+func (c *CDF) Quantile(p float64) (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, fmt.Errorf("metrics: empty CDF")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("metrics: quantile %v outside [0,1]", p)
+	}
+	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx], nil
+}
+
+// FractionAbove returns the fraction of samples strictly greater than x.
+func (c *CDF) FractionAbove(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 { return 1 - c.FractionAbove(x) }
+
+// Values returns the sorted samples (caller must not mutate).
+func (c *CDF) Values() []float64 { return c.sorted }
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range c.sorted {
+		s += v
+	}
+	return s / float64(len(c.sorted))
+}

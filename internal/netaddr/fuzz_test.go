@@ -1,0 +1,54 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseAddr checks that the parser never panics and that every
+// accepted address round-trips through String.
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{"10.11.0.1", "0.0.0.0", "255.255.255.255", "1.2.3", "a.b.c.d", "10.011.0.1", "-1.0.0.0", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil {
+			t.Fatalf("String %q of parsed %q does not re-parse: %v", a.String(), s, err)
+		}
+		if back != a {
+			t.Fatalf("round trip %q → %v → %v", s, a, back)
+		}
+	})
+}
+
+// FuzzParsePrefix checks CIDR parsing invariants: accepted prefixes have
+// masked addresses, contain their own network address, and round-trip.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{"10.11.0.0/16", "0.0.0.0/0", "255.255.255.255/32", "10.0.0.0/33", "10.0.0.0", "/8", "10.0.0.1/24"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if !p.Contains(p.Addr()) {
+			t.Fatalf("%v does not contain its own network address", p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip %q → %v → %v (%v)", s, p, back, err)
+		}
+		if p.Bits() > 0 {
+			cov, err := p.Covering()
+			if err != nil {
+				t.Fatalf("covering of %v: %v", p, err)
+			}
+			if !cov.ContainsPrefix(p) {
+				t.Fatalf("covering %v does not contain %v", cov, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package netaddr implements compact IPv4 addresses and prefixes for the
+// simulator's forwarding plane. Addresses are uint32 values; prefixes carry
+// a mask length. The representation is deliberately minimal so longest-
+// prefix-match lookups stay allocation-free on the forwarding hot path.
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AddrFrom4 builds an address from its four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses dotted-quad notation ("10.11.0.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: %q is not dotted-quad", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netaddr: %q is not dotted-quad", s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return Addr(v), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for constants in tests
+// and examples only.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String formats a in dotted-quad notation.
+func (a Addr) String() string {
+	o1, o2, o3, o4 := a.Octets()
+	var b strings.Builder
+	b.Grow(15)
+	b.WriteString(strconv.Itoa(int(o1)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(o2)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(o3)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(o4)))
+	return b.String()
+}
+
+// IsZero reports whether a is the zero address 0.0.0.0.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Prefix is an IPv4 CIDR prefix. The address is stored already masked.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom returns the prefix addr/bits with the host bits cleared.
+// bits outside [0,32] is an error.
+func PrefixFrom(addr Addr, bits int) (Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix length %d", bits)
+	}
+	return Prefix{addr: addr & maskFor(bits), bits: uint8(bits)}, nil
+}
+
+// ParsePrefix parses CIDR notation ("10.11.0.0/16"). Host bits are cleared.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: %q is not CIDR", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("netaddr: %q is not CIDR", s)
+	}
+	return PrefixFrom(addr, bits)
+}
+
+// MustParsePrefix is ParsePrefix that panics on error; for constants in
+// tests and examples only.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// HostPrefix returns the /32 prefix covering exactly a.
+func HostPrefix(a Addr) Prefix { return Prefix{addr: a, bits: 32} }
+
+func maskFor(bits int) Addr {
+	if bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - uint(bits)))
+}
+
+// Addr returns the (masked) network address.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the mask length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Contains reports whether a is inside p.
+func (p Prefix) Contains(a Addr) bool { return a&maskFor(int(p.bits)) == p.addr }
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// ContainsPrefix reports whether q is entirely inside p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return p.bits <= q.bits && p.Contains(q.addr)
+}
+
+// Covering returns the prefix one bit shorter that contains p (the paper's
+// "shorter prefix covering all hosts", e.g. 10.11.0.0/16 → 10.10.0.0/15).
+func (p Prefix) Covering() (Prefix, error) {
+	if p.bits == 0 {
+		return Prefix{}, fmt.Errorf("netaddr: %v has no covering prefix", p)
+	}
+	return PrefixFrom(p.addr, int(p.bits)-1)
+}
+
+// Nth returns the n-th address within p (0 = network address). n beyond the
+// prefix size is an error.
+func (p Prefix) Nth(n uint32) (Addr, error) {
+	if int(p.bits) < 32 {
+		size := uint64(1) << (32 - uint(p.bits))
+		if uint64(n) >= size {
+			return 0, fmt.Errorf("netaddr: offset %d outside %v", n, p)
+		}
+	} else if n != 0 {
+		return 0, fmt.Errorf("netaddr: offset %d outside %v", n, p)
+	}
+	return p.addr + Addr(n), nil
+}
+
+// String formats p in CIDR notation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// IsZero reports whether p is the zero Prefix (0.0.0.0/0 is NOT zero-valued
+// semantically, but the zero value has bits 0 and addr 0, so they coincide;
+// use with care, the simulator never routes 0.0.0.0/0 except host defaults).
+func (p Prefix) IsZero() bool { return p.addr == 0 && p.bits == 0 }

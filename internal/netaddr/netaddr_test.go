@@ -1,0 +1,205 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	tests := []struct {
+		in   string
+		ok   bool
+		want Addr
+	}{
+		{"10.11.0.1", true, AddrFrom4(10, 11, 0, 1)},
+		{"0.0.0.0", true, 0},
+		{"255.255.255.255", true, Addr(0xFFFFFFFF)},
+		{"10.11.0", false, 0},
+		{"10.11.0.1.2", false, 0},
+		{"10.11.0.256", false, 0},
+		{"10.11.0.-1", false, 0},
+		{"10.011.0.1", false, 0}, // leading zero
+		{"a.b.c.d", false, 0},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddr(tt.in)
+		if tt.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+		if err == nil && got.String() != tt.in {
+			t.Errorf("String() = %q, want %q", got.String(), tt.in)
+		}
+	}
+}
+
+func TestPropertyAddrStringParseRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixMasksHostBits(t *testing.T) {
+	p, err := PrefixFrom(MustParseAddr("10.11.3.7"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr() != MustParseAddr("10.11.0.0") {
+		t.Fatalf("masked addr = %v", p.Addr())
+	}
+	if p.String() != "10.11.0.0/16" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if _, err := PrefixFrom(0, 33); err == nil {
+		t.Fatal("bits 33 accepted")
+	}
+	if _, err := PrefixFrom(0, -1); err == nil {
+		t.Fatal("bits -1 accepted")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.11.0.0/16")
+	if p.Bits() != 16 || p.Addr() != MustParseAddr("10.11.0.0") {
+		t.Fatalf("parsed %v", p)
+	}
+	for _, bad := range []string{"10.11.0.0", "10.11.0.0/x", "10.11.0/16", "10.11.0.0/40"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustParsePrefix("10.11.0.0/16")
+	if !p.Contains(MustParseAddr("10.11.200.3")) {
+		t.Fatal("should contain 10.11.200.3")
+	}
+	if p.Contains(MustParseAddr("10.12.0.1")) {
+		t.Fatal("should not contain 10.12.0.1")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.255.255.255")) {
+		t.Fatal("/0 should contain everything")
+	}
+	host := HostPrefix(MustParseAddr("10.0.0.1"))
+	if !host.Contains(MustParseAddr("10.0.0.1")) || host.Contains(MustParseAddr("10.0.0.2")) {
+		t.Fatal("host prefix wrong")
+	}
+}
+
+func TestCovering(t *testing.T) {
+	// The paper's example: DCN prefix 10.11.0.0/16, covering 10.10.0.0/15.
+	dcn := MustParsePrefix("10.11.0.0/16")
+	cov, err := dcn.Covering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.String() != "10.10.0.0/15" {
+		t.Fatalf("covering = %v, want 10.10.0.0/15", cov)
+	}
+	if !cov.ContainsPrefix(dcn) {
+		t.Fatal("covering must contain the DCN prefix")
+	}
+	if _, err := MustParsePrefix("0.0.0.0/0").Covering(); err == nil {
+		t.Fatal("/0 has no covering prefix")
+	}
+}
+
+func TestOverlapsAndContainsPrefix(t *testing.T) {
+	a := MustParsePrefix("10.11.0.0/16")
+	b := MustParsePrefix("10.11.4.0/24")
+	c := MustParsePrefix("10.12.0.0/16")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("a and b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("a and c are disjoint")
+	}
+	if !a.ContainsPrefix(b) || b.ContainsPrefix(a) {
+		t.Fatal("ContainsPrefix asymmetric check failed")
+	}
+}
+
+func TestNth(t *testing.T) {
+	p := MustParsePrefix("10.11.4.0/24")
+	got, err := p.Nth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MustParseAddr("10.11.4.1") {
+		t.Fatalf("Nth(1) = %v", got)
+	}
+	if _, err := p.Nth(256); err == nil {
+		t.Fatal("Nth(256) of a /24 accepted")
+	}
+	h := HostPrefix(MustParseAddr("1.2.3.4"))
+	if a, err := h.Nth(0); err != nil || a != MustParseAddr("1.2.3.4") {
+		t.Fatalf("host Nth(0) = %v, %v", a, err)
+	}
+	if _, err := h.Nth(1); err == nil {
+		t.Fatal("host Nth(1) accepted")
+	}
+}
+
+func TestPropertyContainmentTransitive(t *testing.T) {
+	// If p contains prefix q and q contains addr a, then p contains a.
+	f := func(base uint32, pb, qb uint8, off uint32) bool {
+		pbits := int(pb % 33)
+		qbits := pbits + int(qb%uint8(33-pbits))
+		p, err := PrefixFrom(Addr(base), pbits)
+		if err != nil {
+			return false
+		}
+		q, err := PrefixFrom(Addr(base), qbits)
+		if err != nil {
+			return false
+		}
+		if !p.ContainsPrefix(q) {
+			return false
+		}
+		var size uint32
+		if qbits == 32 {
+			size = 1
+		} else if qbits == 0 {
+			size = 0 // avoid overflow; off%0 invalid, use raw off
+		} else {
+			size = uint32(1) << (32 - uint(qbits))
+		}
+		var a Addr
+		if size == 0 {
+			a = Addr(off)
+		} else {
+			addr, err := q.Nth(off % size)
+			if err != nil {
+				return false
+			}
+			a = addr
+		}
+		return q.Contains(a) && p.Contains(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Addr(0).IsZero() || Addr(1).IsZero() {
+		t.Fatal("Addr.IsZero wrong")
+	}
+	var p Prefix
+	if !p.IsZero() {
+		t.Fatal("zero Prefix not IsZero")
+	}
+	if MustParsePrefix("10.0.0.0/8").IsZero() {
+		t.Fatal("non-zero prefix IsZero")
+	}
+}

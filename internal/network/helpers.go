@@ -1,0 +1,13 @@
+package network
+
+import "repro/internal/netaddr"
+
+// netaddrDefault returns 0.0.0.0/0.
+func netaddrDefault() (netaddr.Prefix, error) {
+	return netaddr.PrefixFrom(0, 0)
+}
+
+// hostPrefix returns the /32 for a host address.
+func hostPrefix(a netaddr.Addr) netaddr.Prefix {
+	return netaddr.HostPrefix(a)
+}

@@ -1,0 +1,468 @@
+// Package network is the packet-level data plane: it instantiates a
+// topo.Topology as runtime switches, hosts and links, forwards packets
+// through per-switch FIBs with ECMP, models link bandwidth, propagation
+// delay and finite drop-tail queues, and runs the per-port failure
+// detectors whose 60 ms delay the paper measures.
+//
+// The control plane (package ospf) subscribes to detected port state
+// changes and installs routes into the same FIBs; transports (package
+// transport) attach to hosts.
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Config carries the data-plane constants. Zero fields take the defaults
+// the paper's emulation uses (§IV): 1 Gbps links, 5 µs propagation, 60 ms
+// failure detection.
+type Config struct {
+	// BandwidthBps is the link rate in bits per second.
+	BandwidthBps float64
+	// PropDelay is the one-way link propagation delay.
+	PropDelay time.Duration
+	// ProcDelay is the per-switch packet processing delay.
+	ProcDelay time.Duration
+	// QueueBytes is the per-link-direction drop-tail queue capacity.
+	QueueBytes int
+	// DetectionDelay is how long a port takes to notice its link changed
+	// state (the paper's BFD-like 60 ms).
+	DetectionDelay time.Duration
+	// TTL is the initial packet TTL.
+	TTL int
+	// ECMPPerPacket sprays packets across equal-cost next hops instead of
+	// hashing per flow (ablation: breaks TCP ordering assumptions the
+	// paper's ECMP analysis relies on).
+	ECMPPerPacket bool
+}
+
+// DefaultConfig returns the paper's emulation constants.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBps:   1e9,
+		PropDelay:      5 * time.Microsecond,
+		ProcDelay:      time.Microsecond,
+		QueueBytes:     128 * 1500, // ≈ 128 full-size packets
+		DetectionDelay: 60 * time.Millisecond,
+		TTL:            64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = d.BandwidthBps
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = d.PropDelay
+	}
+	if c.ProcDelay == 0 {
+		c.ProcDelay = d.ProcDelay
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = d.QueueBytes
+	}
+	if c.DetectionDelay == 0 {
+		c.DetectionDelay = d.DetectionDelay
+	}
+	if c.TTL == 0 {
+		c.TTL = d.TTL
+	}
+	return c
+}
+
+// PortStateFunc is notified when a node's failure detector changes its
+// belief about a local port.
+type PortStateFunc func(now sim.Time, node topo.NodeID, port int, up bool)
+
+// ReceiveFunc delivers a packet to a host.
+type ReceiveFunc func(now sim.Time, pkt *Packet)
+
+// DropFunc observes dropped packets (tests and traces).
+type DropFunc func(now sim.Time, at topo.NodeID, pkt *Packet, cause DropCause)
+
+// linkDir is one direction of a link: 0 = A→B, 1 = B→A.
+type linkDir struct {
+	up bool
+	// nextFree is when the transmitter finishes the last accepted packet.
+	nextFree sim.Time
+	// Telemetry.
+	packets      uint64
+	bytes        uint64
+	peakBacklogB float64
+}
+
+type linkState struct {
+	dirs [2]linkDir
+}
+
+// bothUp reports whether the link is healthy in both directions — the
+// condition a BFD-style detector monitors (a session needs both
+// directions, so losing either brings the port down at both ends).
+func (ls *linkState) bothUp() bool { return ls.dirs[0].up && ls.dirs[1].up }
+
+type nodeState struct {
+	table *fib.Table
+	// believedUp[p] is the port's detected state; lags actual by
+	// DetectionDelay.
+	believedUp []bool
+	recv       ReceiveFunc
+}
+
+// Network is the runtime data plane over a topology.
+type Network struct {
+	sim   *sim.Simulator
+	topo  *topo.Topology
+	cfg   Config
+	nodes []nodeState
+	links []linkState
+
+	onPortState []PortStateFunc
+	onDrop      []DropFunc
+	lossFilter  LossFunc
+	spraySeq    uint16
+
+	stats Stats
+}
+
+// LossFunc lets tests and fault injectors drop individual packets at a
+// transmitting node; return true to drop.
+type LossFunc func(now sim.Time, at topo.NodeID, pkt *Packet) bool
+
+// New instantiates the topology. All live links start up; FIBs start with
+// only connected routes (each ToR knows its attached hosts and each host
+// has a default route to its ToR).
+func New(s *sim.Simulator, t *topo.Topology, cfg Config) (*Network, error) {
+	n := &Network{
+		sim:   s,
+		topo:  t,
+		cfg:   cfg.withDefaults(),
+		nodes: make([]nodeState, len(t.Nodes)),
+		links: make([]linkState, len(t.Links)),
+	}
+	n.stats.Drops = make(map[DropCause]uint64)
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		n.nodes[i] = nodeState{
+			table:      fib.New(),
+			believedUp: make([]bool, nd.NumPorts),
+		}
+		for p := range n.nodes[i].believedUp {
+			n.nodes[i].believedUp[p] = true
+		}
+	}
+	for i := range t.Links {
+		live := !t.Links[i].Removed
+		n.links[i].dirs[0].up = live
+		n.links[i].dirs[1].up = live
+	}
+	if err := n.installConnectedRoutes(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// installConnectedRoutes seeds host default routes and ToR host routes.
+func (n *Network) installConnectedRoutes() error {
+	defaultRoute, err := netaddrDefault()
+	if err != nil {
+		return err
+	}
+	for _, id := range n.topo.LiveNodes() {
+		nd := n.topo.Node(id)
+		switch nd.Kind {
+		case topo.Host:
+			ls := n.topo.LinksOf(id)
+			if len(ls) != 1 {
+				return fmt.Errorf("network: host %s has %d links", nd.Name, len(ls))
+			}
+			port, _ := ls[0].PortOf(id)
+			tor, _ := ls[0].Other(id)
+			err := n.nodes[id].table.Add(fib.Route{
+				Prefix: defaultRoute, Source: fib.Static,
+				NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(tor).Addr}},
+			})
+			if err != nil {
+				return err
+			}
+		case topo.ToR:
+			for _, l := range n.topo.LinksOf(id) {
+				other, _ := l.Other(id)
+				if n.topo.Node(other).Kind != topo.Host {
+					continue
+				}
+				port, _ := l.PortOf(id)
+				err := n.nodes[id].table.Add(fib.Route{
+					Prefix: hostPrefix(n.topo.Node(other).Addr), Source: fib.Connected,
+					NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(other).Addr}},
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Sim returns the simulator driving the network.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topo.Topology { return n.topo }
+
+// Config returns the effective configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Table returns a node's FIB so control planes can install routes.
+func (n *Network) Table(node topo.NodeID) *fib.Table { return n.nodes[node].table }
+
+// SetHostReceiver registers the packet sink for a host.
+func (n *Network) SetHostReceiver(host topo.NodeID, fn ReceiveFunc) {
+	n.nodes[host].recv = fn
+}
+
+// OnPortState registers a detected-port-state listener (the control plane).
+func (n *Network) OnPortState(fn PortStateFunc) {
+	n.onPortState = append(n.onPortState, fn)
+}
+
+// OnDrop registers a drop observer; multiple observers all fire.
+func (n *Network) OnDrop(fn DropFunc) { n.onDrop = append(n.onDrop, fn) }
+
+// SetLossFilter installs (or clears, with nil) a per-packet loss filter
+// consulted when a node transmits.
+func (n *Network) SetLossFilter(fn LossFunc) { n.lossFilter = fn }
+
+// PortBelievedUp reports the node's detected state of a local port.
+func (n *Network) PortBelievedUp(node topo.NodeID, port int) bool {
+	b := n.nodes[node].believedUp
+	if port < 0 || port >= len(b) {
+		return false
+	}
+	return b[port]
+}
+
+// LinkUp reports whether a link is healthy in both directions.
+func (n *Network) LinkUp(id topo.LinkID) bool { return n.links[id].bothUp() }
+
+// LinkDirUp reports the actual state of the direction leaving `from`.
+func (n *Network) LinkDirUp(id topo.LinkID, from topo.NodeID) bool {
+	l := n.topo.Link(id)
+	dir := 0
+	if l.B == from {
+		dir = 1
+	}
+	return n.links[id].dirs[dir].up
+}
+
+// LinkStats is per-direction link telemetry.
+type LinkStats struct {
+	Packets     uint64
+	Bytes       uint64
+	PeakBacklog float64 // bytes queued behind the fullest accepted packet
+}
+
+// LinkStatsFor returns telemetry for the direction leaving `from`.
+func (n *Network) LinkStatsFor(id topo.LinkID, from topo.NodeID) LinkStats {
+	l := n.topo.Link(id)
+	dir := 0
+	if l.B == from {
+		dir = 1
+	}
+	d := &n.links[id].dirs[dir]
+	return LinkStats{Packets: d.packets, Bytes: d.bytes, PeakBacklog: d.peakBacklogB}
+}
+
+// Stats returns a copy of the forwarding counters.
+func (n *Network) Stats() Stats {
+	cp := n.stats
+	cp.Drops = make(map[DropCause]uint64, len(n.stats.Drops))
+	for k, v := range n.stats.Drops {
+		cp.Drops[k] = v
+	}
+	return cp
+}
+
+// SetLinkState changes a link's actual state in both directions at the
+// current simulation time and schedules both endpoints' failure detectors
+// to notice after DetectionDelay. Setting the current state again is a
+// no-op.
+func (n *Network) SetLinkState(id topo.LinkID, up bool) {
+	ls := &n.links[id]
+	if ls.dirs[0].up == up && ls.dirs[1].up == up {
+		return
+	}
+	ls.dirs[0].up = up
+	ls.dirs[1].up = up
+	n.scheduleDetection(id)
+}
+
+// SetLinkDirectionState changes only the direction leaving `from` — the
+// unidirectional failures the paper defers to future work. Detection is
+// BFD-like: losing either direction kills the session, so both endpoints
+// detect the port down.
+func (n *Network) SetLinkDirectionState(id topo.LinkID, from topo.NodeID, up bool) {
+	l := n.topo.Link(id)
+	dir := 0
+	if l.B == from {
+		dir = 1
+	}
+	ls := &n.links[id]
+	if ls.dirs[dir].up == up {
+		return
+	}
+	ls.dirs[dir].up = up
+	n.scheduleDetection(id)
+}
+
+// scheduleDetection arms both endpoints' detectors for the link's state at
+// detection time.
+func (n *Network) scheduleDetection(id topo.LinkID) {
+	l := n.topo.Link(id)
+	for _, end := range []struct {
+		node topo.NodeID
+		port int
+	}{{l.A, l.APort}, {l.B, l.BPort}} {
+		end := end
+		n.sim.After(n.cfg.DetectionDelay, func(now sim.Time) {
+			// Detect whatever the link state is *now* (flaps within the
+			// detection window collapse to the final state).
+			actual := n.links[id].bothUp()
+			st := &n.nodes[end.node]
+			if st.believedUp[end.port] == actual {
+				return
+			}
+			st.believedUp[end.port] = actual
+			for _, fn := range n.onPortState {
+				fn(now, end.node, end.port, actual)
+			}
+		})
+	}
+}
+
+// FailLink and RestoreLink are readability helpers over SetLinkState.
+func (n *Network) FailLink(id topo.LinkID)    { n.SetLinkState(id, false) }
+func (n *Network) RestoreLink(id topo.LinkID) { n.SetLinkState(id, true) }
+
+// SendFromHost injects a packet at a host at the current simulation time.
+// The packet's TTL and SentAt are stamped here.
+func (n *Network) SendFromHost(host topo.NodeID, pkt *Packet) {
+	pkt.TTL = n.cfg.TTL
+	pkt.SentAt = n.sim.Now()
+	n.stats.Sent++
+	n.forward(n.sim.Now(), host, pkt)
+}
+
+// drop records a packet loss.
+func (n *Network) drop(now sim.Time, at topo.NodeID, pkt *Packet, cause DropCause) {
+	n.stats.Drops[cause]++
+	for _, fn := range n.onDrop {
+		fn(now, at, pkt, cause)
+	}
+}
+
+// forward routes pkt out of node (host or switch) at time now.
+func (n *Network) forward(now sim.Time, node topo.NodeID, pkt *Packet) {
+	st := &n.nodes[node]
+	key := pkt.Flow
+	if n.cfg.ECMPPerPacket {
+		// Spray: perturb the hash input per packet.
+		n.spraySeq++
+		key.SrcPort ^= n.spraySeq
+	}
+	res, ok := st.table.Lookup(pkt.Flow.Dst, key, func(nh fib.NextHop) bool {
+		return st.believedUp[nh.Port]
+	})
+	if !ok {
+		n.drop(now, node, pkt, DropNoRoute)
+		return
+	}
+	n.transmit(now, node, res.NextHop.Port, pkt)
+}
+
+// transmit queues pkt on the given port of node.
+func (n *Network) transmit(now sim.Time, node topo.NodeID, port int, pkt *Packet) {
+	if n.lossFilter != nil && n.lossFilter(now, node, pkt) {
+		n.drop(now, node, pkt, DropLinkDown)
+		return
+	}
+	l := n.topo.LinkOnPort(node, port)
+	if l == nil {
+		n.drop(now, node, pkt, DropLinkDown)
+		return
+	}
+	ls := &n.links[l.ID]
+	dir := 0
+	if l.B == node {
+		dir = 1
+	}
+	d := &ls.dirs[dir]
+	if !d.up {
+		// Transmitting into a dead wire: the blackhole that lasts until
+		// the detector fires.
+		n.drop(now, node, pkt, DropLinkDown)
+		return
+	}
+	txTime := time.Duration(float64(pkt.Size*8) / n.cfg.BandwidthBps * float64(time.Second))
+	start := now
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	// Drop-tail: the backlog ahead of this packet, in bytes, must fit the
+	// queue.
+	backlogBytes := start.Sub(now).Seconds() * n.cfg.BandwidthBps / 8
+	if backlogBytes > float64(n.cfg.QueueBytes) {
+		n.drop(now, node, pkt, DropQueueOverflow)
+		return
+	}
+	d.packets++
+	d.bytes += uint64(pkt.Size)
+	if backlogBytes > d.peakBacklogB {
+		d.peakBacklogB = backlogBytes
+	}
+	d.nextFree = start.Add(txTime)
+	other, _ := l.Other(node)
+	arrive := d.nextFree.Add(n.cfg.PropDelay)
+	linkID := l.ID
+	dirIdx := dir
+	n.sim.At(arrive, func(at sim.Time) {
+		if !n.links[linkID].dirs[dirIdx].up {
+			// The direction died while the packet was in queue or flight.
+			n.drop(at, node, pkt, DropLinkDown)
+			return
+		}
+		n.arrive(at, other, pkt)
+	})
+}
+
+// arrive handles pkt reaching node.
+func (n *Network) arrive(now sim.Time, node topo.NodeID, pkt *Packet) {
+	nd := n.topo.Node(node)
+	if nd.Kind == topo.Host {
+		if pkt.Flow.Dst != nd.Addr {
+			n.drop(now, node, pkt, DropNotForMe)
+			return
+		}
+		n.stats.Delivered++
+		if st := &n.nodes[node]; st.recv != nil {
+			st.recv(now, pkt)
+		}
+		return
+	}
+	// Switch hop.
+	pkt.TTL--
+	pkt.Hops++
+	if pkt.TTL <= 0 {
+		n.drop(now, node, pkt, DropTTLExpired)
+		return
+	}
+	n.sim.After(n.cfg.ProcDelay, func(at sim.Time) {
+		n.forward(at, node, pkt)
+	})
+}

@@ -1,0 +1,75 @@
+package network
+
+import (
+	"repro/internal/fib"
+	"repro/internal/sim"
+)
+
+// Protocol numbers used by the simulator's packets.
+const (
+	ProtoUDP uint8 = 17
+	ProtoTCP uint8 = 6
+)
+
+// Packet is the unit of forwarding. Payload carries the transport segment
+// opaquely; the network layer only reads the flow key, size and TTL.
+type Packet struct {
+	// Flow is the five-tuple; Flow.Dst drives forwarding.
+	Flow fib.FlowKey
+	// Size is the on-wire size in bytes (headers included).
+	Size int
+	// TTL is decremented per switch hop; the packet is dropped at zero.
+	TTL int
+	// SentAt is the time the packet left the sending host.
+	SentAt sim.Time
+	// Hops counts switch traversals, for path-length assertions.
+	Hops int
+	// Payload is the transport-layer segment.
+	Payload any
+}
+
+// DropCause says why the network dropped a packet.
+type DropCause int
+
+// Drop causes.
+const (
+	DropNoRoute DropCause = iota + 1
+	DropLinkDown
+	DropQueueOverflow
+	DropTTLExpired
+	DropNotForMe
+)
+
+// String names the cause.
+func (c DropCause) String() string {
+	switch c {
+	case DropNoRoute:
+		return "no-route"
+	case DropLinkDown:
+		return "link-down"
+	case DropQueueOverflow:
+		return "queue-overflow"
+	case DropTTLExpired:
+		return "ttl-expired"
+	case DropNotForMe:
+		return "not-for-me"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts network-wide forwarding outcomes.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Drops     map[DropCause]uint64
+}
+
+// TotalDrops sums every drop cause.
+func (s Stats) TotalDrops() uint64 {
+	var n uint64
+	for _, v := range s.Drops {
+		n += v
+	}
+	return n
+}

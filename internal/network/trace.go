@@ -1,0 +1,59 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+	"repro/internal/topo"
+)
+
+// Path is the result of a forwarding-table walk.
+type Path struct {
+	Nodes []topo.NodeID
+	Links []topo.LinkID
+}
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int { return len(p.Links) }
+
+// PathTrace walks the current FIBs from src following the flow key exactly
+// as the data plane would (LPM, usable-next-hop fallback, ECMP hashing) and
+// returns the path a packet would take right now. It fails on forwarding
+// loops, missing routes and dead links — useful both for tests and for
+// choosing which "downward link along the forwarding path" to tear down,
+// as the paper's experiments do.
+func (n *Network) PathTrace(src topo.NodeID, flow fib.FlowKey) (Path, error) {
+	var path Path
+	cur := src
+	path.Nodes = append(path.Nodes, cur)
+	visited := map[topo.NodeID]int{cur: 1}
+	for hop := 0; hop <= n.cfg.TTL; hop++ {
+		nd := n.topo.Node(cur)
+		if nd.Kind == topo.Host && nd.Addr == flow.Dst {
+			return path, nil
+		}
+		st := &n.nodes[cur]
+		res, ok := st.table.Lookup(flow.Dst, flow, func(nh fib.NextHop) bool {
+			return st.believedUp[nh.Port]
+		})
+		if !ok {
+			return path, fmt.Errorf("network: no route at %s for %v", nd.Name, flow.Dst)
+		}
+		l := n.topo.LinkOnPort(cur, res.NextHop.Port)
+		if l == nil {
+			return path, fmt.Errorf("network: route at %s points at empty port %d", nd.Name, res.NextHop.Port)
+		}
+		if !n.LinkDirUp(l.ID, cur) {
+			return path, fmt.Errorf("network: path hits dead link at %s", nd.Name)
+		}
+		next, _ := l.Other(cur)
+		path.Links = append(path.Links, l.ID)
+		path.Nodes = append(path.Nodes, next)
+		visited[next]++
+		if visited[next] > 2 {
+			return path, fmt.Errorf("network: forwarding loop at %s", n.topo.Node(next).Name)
+		}
+		cur = next
+	}
+	return path, fmt.Errorf("network: path exceeds TTL")
+}

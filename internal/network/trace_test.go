@@ -1,0 +1,101 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/netaddr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestPathTraceHappyPath(t *testing.T) {
+	s, nw, a, b := twoHostsOneToR(t)
+	_ = s
+	p, err := nw.PathTrace(a, flowTo(nw.Topology().Node(b).Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 2 || len(p.Nodes) != 3 {
+		t.Fatalf("path = %+v", p)
+	}
+}
+
+func TestPathTraceNoRoute(t *testing.T) {
+	_, nw, a, _ := twoHostsOneToR(t)
+	_, err := nw.PathTrace(a, flowTo(netaddr.MustParseAddr("192.0.2.1")))
+	if err == nil || !strings.Contains(err.Error(), "no route") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPathTraceDeadLink(t *testing.T) {
+	s, nw, a, b := twoHostsOneToR(t)
+	torID := nw.Topology().FindNode("tor").ID
+	link := nw.Topology().LinksBetween(torID, b)[0]
+	nw.FailLink(link.ID)
+	// Before detection: the route still points at the dead link.
+	_, err := nw.PathTrace(a, flowTo(nw.Topology().Node(b).Addr))
+	if err == nil || !strings.Contains(err.Error(), "dead link") {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s
+}
+
+func TestPathTraceDetectsLoop(t *testing.T) {
+	// Two switches pointing a prefix at each other.
+	tp := topo.NewTopology("loop")
+	s1 := tp.AddNode(topo.Node{Name: "s1", Kind: topo.Agg, NumPorts: 2, Addr: netaddr.MustParseAddr("10.12.0.1")})
+	s2 := tp.AddNode(topo.Node{Name: "s2", Kind: topo.Agg, NumPorts: 2, Addr: netaddr.MustParseAddr("10.12.1.1")})
+	h := tp.AddNode(topo.Node{Name: "h", Kind: topo.Host, NumPorts: 1, Addr: netaddr.MustParseAddr("10.11.0.2")})
+	if _, err := tp.AddLink(h, s1, topo.HostLink); err != nil {
+		t.Fatal(err)
+	}
+	l, err := tp.AddLink(s1, s2, topo.AcrossLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(sim.New(1), tp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := netaddr.MustParsePrefix("10.99.0.0/24")
+	p1, _ := tp.Link(l).PortOf(s1)
+	p2, _ := tp.Link(l).PortOf(s2)
+	if err := nw.Table(s1).Add(fib.Route{Prefix: dst, Source: fib.Static, NextHops: []fib.NextHop{{Port: p1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Table(s2).Add(fib.Route{Prefix: dst, Source: fib.Static, NextHops: []fib.NextHop{{Port: p2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Table(h).Add(fib.Route{Prefix: dst, Source: fib.Static, NextHops: []fib.NextHop{{Port: 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = nw.PathTrace(h, flowTo(netaddr.MustParseAddr("10.99.0.1")))
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropCauseStrings(t *testing.T) {
+	for cause, want := range map[DropCause]string{
+		DropNoRoute:       "no-route",
+		DropLinkDown:      "link-down",
+		DropQueueOverflow: "queue-overflow",
+		DropTTLExpired:    "ttl-expired",
+		DropNotForMe:      "not-for-me",
+		DropCause(99):     "unknown",
+	} {
+		if got := cause.String(); got != want {
+			t.Errorf("%d → %q, want %q", cause, got, want)
+		}
+	}
+}
+
+func TestSimAccessor(t *testing.T) {
+	s, nw, _, _ := twoHostsOneToR(t)
+	if nw.Sim() != s {
+		t.Fatal("Sim accessor broken")
+	}
+}

@@ -1,0 +1,99 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestUnidirectionalFailureBlackholesOneDirection(t *testing.T) {
+	s, nw, a, b := twoHostsOneToR(t)
+	tp := nw.Topology()
+	torID := tp.FindNode("tor").ID
+	link := tp.LinksBetween(torID, b)[0]
+
+	deliveredToB, deliveredToA := 0, 0
+	nw.SetHostReceiver(b, func(sim.Time, *Packet) { deliveredToB++ })
+	nw.SetHostReceiver(a, func(sim.Time, *Packet) { deliveredToA++ })
+	aAddr, bAddr := tp.Node(a).Addr, tp.Node(b).Addr
+
+	// Kill only the ToR→b direction.
+	s.At(5*sim.Millisecond, func(sim.Time) {
+		nw.SetLinkDirectionState(link.ID, torID, false)
+	})
+	// Before detection (within 60 ms): ToR→b drops, b→ToR still works.
+	s.At(20*sim.Millisecond, func(sim.Time) {
+		nw.SendFromHost(a, &Packet{Flow: flowTo(bAddr), Size: 100})
+		f := flowTo(aAddr)
+		f.Src = bAddr
+		nw.SendFromHost(b, &Packet{Flow: f, Size: 100})
+	})
+	if err := s.Run(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredToB != 0 {
+		t.Fatal("packet crossed the dead direction")
+	}
+	if deliveredToA != 1 {
+		t.Fatal("healthy direction should still deliver")
+	}
+	if !nw.LinkDirUp(link.ID, b) || nw.LinkDirUp(link.ID, torID) {
+		t.Fatal("direction states wrong")
+	}
+	if nw.LinkUp(link.ID) {
+		t.Fatal("LinkUp must be false with one direction dead")
+	}
+}
+
+func TestUnidirectionalFailureDetectedAtBothEnds(t *testing.T) {
+	// BFD semantics: losing one direction brings the port down at both
+	// endpoints after the detection delay.
+	s, nw, _, b := twoHostsOneToR(t)
+	tp := nw.Topology()
+	torID := tp.FindNode("tor").ID
+	link := tp.LinksBetween(torID, b)[0]
+	events := 0
+	nw.OnPortState(func(_ sim.Time, _ topo.NodeID, _ int, up bool) {
+		if !up {
+			events++
+		}
+	})
+	s.At(5*sim.Millisecond, func(sim.Time) {
+		nw.SetLinkDirectionState(link.ID, torID, false)
+	})
+	if err := s.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if events != 2 {
+		t.Fatalf("port-down detections = %d, want 2 (both endpoints)", events)
+	}
+	torPort, _ := link.PortOf(torID)
+	if nw.PortBelievedUp(torID, torPort) || nw.PortBelievedUp(b, 0) {
+		t.Fatal("beliefs should be down at both ends")
+	}
+}
+
+func TestUnidirectionalRepairRestoresLink(t *testing.T) {
+	s, nw, a, b := twoHostsOneToR(t)
+	tp := nw.Topology()
+	torID := tp.FindNode("tor").ID
+	link := tp.LinksBetween(torID, b)[0]
+	delivered := 0
+	nw.SetHostReceiver(b, func(sim.Time, *Packet) { delivered++ })
+	bAddr := tp.Node(b).Addr
+	s.At(5*sim.Millisecond, func(sim.Time) { nw.SetLinkDirectionState(link.ID, torID, false) })
+	s.At(200*sim.Millisecond, func(sim.Time) { nw.SetLinkDirectionState(link.ID, torID, true) })
+	s.At(400*sim.Millisecond, func(sim.Time) {
+		nw.SendFromHost(a, &Packet{Flow: flowTo(bAddr), Size: 100})
+	})
+	if err := s.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatal("repaired direction should deliver")
+	}
+	if !nw.LinkUp(link.ID) {
+		t.Fatal("link should be fully up after repair")
+	}
+}

@@ -1,0 +1,323 @@
+// Package ospf implements the link-state routing control plane the paper's
+// testbed runs (Quagga ospfd): router LSAs, epidemic flooding, Dijkstra
+// shortest paths with ECMP, and — the part that dominates the paper's
+// recovery-time measurements — Quagga-style SPF throttling with
+// exponential hold backoff and a delayed FIB install.
+//
+// The recovery anatomy the paper measures decomposes as
+//
+//	detect (60 ms, package network) → flood LSAs (fast) →
+//	wait SPF delay (200 ms initial, up to ~10 s under churn) →
+//	compute SPF → install FIB (10 ms)
+//
+// and every stage is modeled explicitly here.
+package ospf
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/netaddr"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Config carries the control-plane timers.
+type Config struct {
+	// SPFDelay is the initial wait between the first SPF trigger and the
+	// computation (Quagga's default 200 ms, the paper's §I anatomy).
+	SPFDelay time.Duration
+	// SPFHoldInitial is the quiet period after an SPF run before another
+	// may start.
+	SPFHoldInitial time.Duration
+	// SPFHoldMax caps the exponentially backed-off hold (the paper
+	// observes ~9 s timers under churn, §IV-B).
+	SPFHoldMax time.Duration
+	// FIBUpdateDelay is the delay between SPF completion and the routes
+	// landing in the forwarding table (the paper's measured 10 ms).
+	FIBUpdateDelay time.Duration
+	// FloodHopDelay is the per-hop LSA propagation + processing delay.
+	FloodHopDelay time.Duration
+	// DisableThrottle removes the hold backoff (ablation: every trigger
+	// waits only SPFDelay).
+	DisableThrottle bool
+}
+
+// DefaultConfig returns Quagga's defaults as the paper describes them.
+func DefaultConfig() Config {
+	return Config{
+		SPFDelay:       200 * time.Millisecond,
+		SPFHoldInitial: 1 * time.Second,
+		SPFHoldMax:     10 * time.Second,
+		FIBUpdateDelay: 10 * time.Millisecond,
+		FloodHopDelay:  1 * time.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SPFDelay == 0 {
+		c.SPFDelay = d.SPFDelay
+	}
+	if c.SPFHoldInitial == 0 {
+		c.SPFHoldInitial = d.SPFHoldInitial
+	}
+	if c.SPFHoldMax == 0 {
+		c.SPFHoldMax = d.SPFHoldMax
+	}
+	if c.FIBUpdateDelay == 0 {
+		c.FIBUpdateDelay = d.FIBUpdateDelay
+	}
+	if c.FloodHopDelay == 0 {
+		c.FloodHopDelay = d.FloodHopDelay
+	}
+	return c
+}
+
+// Adjacency is one up link a router advertises.
+type Adjacency struct {
+	Neighbor topo.NodeID
+	Link     topo.LinkID
+}
+
+// LSA is a router link-state advertisement.
+type LSA struct {
+	Origin      topo.NodeID
+	Seq         uint64
+	Adjacencies []Adjacency
+	Prefixes    []netaddr.Prefix
+}
+
+// Domain runs one OSPF instance per switch of a network.
+type Domain struct {
+	sim  *sim.Simulator
+	nw   *network.Network
+	topo *topo.Topology
+	cfg  Config
+
+	instances map[topo.NodeID]*Instance
+	onSPF     func(now sim.Time, node topo.NodeID)
+}
+
+// Instance is the per-router protocol state.
+type Instance struct {
+	d    *Domain
+	node topo.NodeID
+
+	lsdb map[topo.NodeID]*LSA
+	seq  uint64
+
+	// SPF throttle state.
+	pending   bool
+	pendingAt sim.Time
+	wasHeld   bool
+	holdUntil sim.Time
+	curHold   time.Duration
+
+	// Diagnostics.
+	spfRuns   int
+	lastSPFAt sim.Time
+	maxWait   time.Duration // longest trigger→run wait observed
+	triggerAt sim.Time      // earliest un-serviced trigger
+}
+
+// NewDomain attaches a control plane to every live switch of nw.
+func NewDomain(nw *network.Network, cfg Config) *Domain {
+	d := &Domain{
+		sim:       nw.Sim(),
+		nw:        nw,
+		topo:      nw.Topology(),
+		cfg:       cfg.withDefaults(),
+		instances: make(map[topo.NodeID]*Instance),
+	}
+	for _, id := range d.topo.LiveNodes() {
+		if d.topo.Node(id).Kind == topo.Host {
+			continue
+		}
+		d.instances[id] = &Instance{
+			d:       d,
+			node:    id,
+			lsdb:    make(map[topo.NodeID]*LSA),
+			curHold: d.cfg.SPFHoldInitial,
+		}
+	}
+	nw.OnPortState(d.portStateChanged)
+	return d
+}
+
+// OnSPF registers a hook invoked after each SPF run (diagnostics).
+func (d *Domain) OnSPF(fn func(now sim.Time, node topo.NodeID)) { d.onSPF = fn }
+
+// Instance returns the protocol instance of a switch, or nil.
+func (d *Domain) Instance(node topo.NodeID) *Instance { return d.instances[node] }
+
+// Config returns the effective configuration.
+func (d *Domain) Config() Config { return d.cfg }
+
+// Bootstrap fills every LSDB and installs converged routes synchronously at
+// the current simulation time, modeling a network that finished its initial
+// convergence before the experiment starts. Throttle state stays quiet, so
+// the first failure is handled with the initial SPF delay.
+func (d *Domain) Bootstrap() error {
+	for _, inst := range d.instances {
+		inst.originateLocked()
+	}
+	// Copy every origin LSA into every LSDB.
+	for _, inst := range d.instances {
+		for _, src := range d.instances {
+			lsa := src.lsdb[src.node]
+			inst.lsdb[src.node] = lsa
+		}
+	}
+	for _, inst := range d.instances {
+		routes := inst.computeRoutes()
+		if err := d.nw.Table(inst.node).ReplaceSource(fib.OSPF, routes); err != nil {
+			return fmt.Errorf("bootstrap %s: %w", d.topo.Node(inst.node).Name, err)
+		}
+		inst.spfRuns++
+	}
+	return nil
+}
+
+// portStateChanged reacts to a failure detector firing on a switch.
+func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up bool) {
+	inst := d.instances[node]
+	if inst == nil {
+		return // host port; no protocol
+	}
+	inst.originate(now)
+	inst.scheduleSPF(now)
+}
+
+// originate rebuilds this router's own LSA from believed port state and
+// floods it.
+func (i *Instance) originate(now sim.Time) {
+	lsa := i.originateLocked()
+	i.flood(now, lsa, topo.NodeID(topo.None))
+}
+
+// originateLocked rebuilds and stores the LSA without flooding.
+func (i *Instance) originateLocked() *LSA {
+	i.seq++
+	nd := i.d.topo.Node(i.node)
+	lsa := &LSA{Origin: i.node, Seq: i.seq}
+	for _, l := range i.d.topo.LinksOf(i.node) {
+		other, ok := l.Other(i.node)
+		if !ok || i.d.topo.Node(other).Kind == topo.Host {
+			continue
+		}
+		port, _ := l.PortOf(i.node)
+		if !i.d.nw.PortBelievedUp(i.node, port) {
+			continue
+		}
+		lsa.Adjacencies = append(lsa.Adjacencies, Adjacency{Neighbor: other, Link: l.ID})
+	}
+	if nd.Kind == topo.ToR && !nd.Subnet.IsZero() {
+		lsa.Prefixes = append(lsa.Prefixes, nd.Subnet)
+	}
+	i.lsdb[i.node] = lsa
+	return lsa
+}
+
+// flood sends lsa to every believed-up switch neighbor except `from`. The
+// LSA is lost if the link is actually down at delivery time; epidemic
+// re-flooding through the rest of the graph still converges as long as the
+// network is connected.
+func (i *Instance) flood(now sim.Time, lsa *LSA, from topo.NodeID) {
+	for _, l := range i.d.topo.LinksOf(i.node) {
+		other, ok := l.Other(i.node)
+		if !ok || other == from {
+			continue
+		}
+		if i.d.topo.Node(other).Kind == topo.Host {
+			continue
+		}
+		port, _ := l.PortOf(i.node)
+		if !i.d.nw.PortBelievedUp(i.node, port) {
+			continue
+		}
+		linkID := l.ID
+		neighbor := other
+		i.d.sim.After(i.d.cfg.FloodHopDelay, func(at sim.Time) {
+			if !i.d.nw.LinkDirUp(linkID, i.node) {
+				return // lost on a dead wire
+			}
+			if ni := i.d.instances[neighbor]; ni != nil {
+				ni.receive(at, lsa, i.node)
+			}
+		})
+	}
+}
+
+// receive processes a flooded LSA.
+func (i *Instance) receive(now sim.Time, lsa *LSA, from topo.NodeID) {
+	cur := i.lsdb[lsa.Origin]
+	if cur != nil && cur.Seq >= lsa.Seq {
+		return // stale or duplicate
+	}
+	i.lsdb[lsa.Origin] = lsa
+	i.flood(now, lsa, from)
+	i.scheduleSPF(now)
+}
+
+// scheduleSPF arms the throttled SPF timer.
+func (i *Instance) scheduleSPF(now sim.Time) {
+	if i.pending {
+		return
+	}
+	if i.triggerAt == 0 || i.triggerAt < i.lastSPFAt {
+		i.triggerAt = now
+	}
+	start := now.Add(i.d.cfg.SPFDelay)
+	i.wasHeld = false
+	if !i.d.cfg.DisableThrottle && start < i.holdUntil {
+		start = i.holdUntil
+		i.wasHeld = true
+	}
+	i.pending = true
+	i.pendingAt = start
+	i.d.sim.At(start, i.runSPF)
+}
+
+// runSPF computes routes and schedules the FIB install.
+func (i *Instance) runSPF(now sim.Time) {
+	i.pending = false
+	if wait := now.Sub(i.triggerAt); i.triggerAt > 0 && wait > i.maxWait {
+		i.maxWait = wait
+	}
+	i.triggerAt = 0
+	if !i.d.cfg.DisableThrottle {
+		if i.wasHeld {
+			i.curHold *= 2
+			if i.curHold > i.d.cfg.SPFHoldMax {
+				i.curHold = i.d.cfg.SPFHoldMax
+			}
+		} else {
+			i.curHold = i.d.cfg.SPFHoldInitial
+		}
+		i.holdUntil = now.Add(i.curHold)
+	}
+	i.spfRuns++
+	i.lastSPFAt = now
+	routes := i.computeRoutes()
+	i.d.sim.After(i.d.cfg.FIBUpdateDelay, func(at sim.Time) {
+		// Last-writer-wins is correct: installs are scheduled in SPF
+		// order.
+		_ = i.d.nw.Table(i.node).ReplaceSource(fib.OSPF, routes)
+	})
+	if i.d.onSPF != nil {
+		i.d.onSPF(now, i.node)
+	}
+}
+
+// SPFRuns returns how many SPF computations this instance performed.
+func (i *Instance) SPFRuns() int { return i.spfRuns }
+
+// MaxSPFWait returns the longest observed trigger→run wait, showing the
+// throttle backoff the paper blames for 9 s request delays.
+func (i *Instance) MaxSPFWait() time.Duration { return i.maxWait }
+
+// LSDBSize returns the number of LSAs held.
+func (i *Instance) LSDBSize() int { return len(i.lsdb) }

@@ -1,0 +1,140 @@
+package ospf
+
+import (
+	"sort"
+
+	"repro/internal/fib"
+	"repro/internal/topo"
+)
+
+type edge struct {
+	to   topo.NodeID
+	link topo.LinkID
+}
+
+// computeRoutes runs the shortest-path computation over the LSDB and
+// returns the ECMP routes to every advertised prefix. Links have unit cost
+// (the paper's footnote 4), so Dijkstra reduces to BFS with equal-cost
+// predecessor merging. An adjacency is used only if both routers advertise
+// it over the same link (the OSPF two-way check), which keeps half-dead
+// links out of the graph while detections race.
+func (i *Instance) computeRoutes() []fib.Route {
+	adjOK := func(from, to topo.NodeID, link topo.LinkID) bool {
+		peer := i.lsdb[to]
+		if peer == nil {
+			return false
+		}
+		for _, a := range peer.Adjacencies {
+			if a.Neighbor == from && a.Link == link {
+				return true
+			}
+		}
+		return false
+	}
+	graph := make(map[topo.NodeID][]edge, len(i.lsdb))
+	for origin, lsa := range i.lsdb {
+		for _, a := range lsa.Adjacencies {
+			if adjOK(origin, a.Neighbor, a.Link) {
+				graph[origin] = append(graph[origin], edge{to: a.Neighbor, link: a.Link})
+			}
+		}
+	}
+	for n := range graph {
+		es := graph[n]
+		sort.Slice(es, func(x, y int) bool {
+			if es[x].to != es[y].to {
+				return es[x].to < es[y].to
+			}
+			return es[x].link < es[y].link
+		})
+	}
+
+	// BFS from self with ECMP merging. nh[v] is the set of local first-hop
+	// next hops beginning some shortest path to v.
+	const inf = int(^uint(0) >> 1)
+	dist := make(map[topo.NodeID]int, len(graph))
+	nh := make(map[topo.NodeID]map[fib.NextHop]bool, len(graph))
+	distOf := func(n topo.NodeID) int {
+		if d, ok := dist[n]; ok {
+			return d
+		}
+		return inf
+	}
+	dist[i.node] = 0
+	frontier := []topo.NodeID{i.node}
+	for len(frontier) > 0 {
+		var next []topo.NodeID
+		for _, u := range frontier {
+			for _, e := range graph[u] {
+				dv := distOf(e.to)
+				du := dist[u]
+				if dv < du+1 {
+					continue
+				}
+				if dv > du+1 {
+					dist[e.to] = du + 1
+					next = append(next, e.to)
+				}
+				set := nh[e.to]
+				if set == nil {
+					set = make(map[fib.NextHop]bool, 2)
+					nh[e.to] = set
+				}
+				if u == i.node {
+					// First hop: the local port of this link.
+					l := i.d.topo.Link(e.link)
+					port, ok := l.PortOf(i.node)
+					if !ok {
+						continue
+					}
+					set[fib.NextHop{Port: port, Via: i.d.topo.Node(e.to).Addr}] = true
+				} else {
+					for hop := range nh[u] {
+						set[hop] = true
+					}
+				}
+			}
+		}
+		frontier = dedupe(next)
+	}
+
+	// Emit one route per advertised prefix of every other reachable router.
+	var routes []fib.Route
+	origins := make([]topo.NodeID, 0, len(i.lsdb))
+	for o := range i.lsdb {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(a, b int) bool { return origins[a] < origins[b] })
+	for _, o := range origins {
+		if o == i.node {
+			continue
+		}
+		lsa := i.lsdb[o]
+		set := nh[o]
+		if len(set) == 0 || len(lsa.Prefixes) == 0 {
+			continue
+		}
+		hops := make([]fib.NextHop, 0, len(set))
+		for hop := range set {
+			hops = append(hops, hop)
+		}
+		sort.Slice(hops, func(a, b int) bool { return hops[a].Port < hops[b].Port })
+		for _, p := range lsa.Prefixes {
+			routes = append(routes, fib.Route{Prefix: p, Source: fib.OSPF, NextHops: hops})
+		}
+	}
+	return routes
+}
+
+// dedupe removes duplicate node IDs while preserving first-seen order.
+func dedupe(ids []topo.NodeID) []topo.NodeID {
+	seen := make(map[topo.NodeID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateTablesOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(&buf, Options{TablesOnly: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# F²Tree evaluation report",
+		"Table I", "Table IV", "Table III",
+		"F²Tree reduces connectivity loss by 78%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Fig 6") {
+		t.Fatal("tables-only report ran the workload experiments")
+	}
+}
+
+func TestGenerateQuickFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment set")
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, Options{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig 4", "Fig 5", "Fig 6", "Fig 7",
+		"Control-plane independence", "Sweep: failure-detection delay",
+		"Bisection", "jain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the scenario decoder never panics and enforces its
+// required fields on arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add(`{"scheme":"f2tree","ports":8,"flows":[{"src":"leftmost","dst":"rightmost"}]}`)
+	f.Add(`{"scheme":"fattree","ports":4,"flows":[{"src":"a","dst":"b"}],"events":[{"atMs":1,"action":"fail-switch","node":"x"}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		sc, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if sc.Scheme == "" || sc.Ports == 0 || len(sc.Flows) == 0 {
+			t.Fatalf("accepted scenario missing required fields: %+v", sc)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleAndRun measures raw event-queue throughput with a
+// self-rescheduling workload resembling packet forwarding.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New(1)
+	remaining := b.N
+	var tick Event
+	tick = func(now Time) {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		s.After(time.Microsecond, tick)
+	}
+	s.After(time.Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleFanOut measures bursty scheduling: many events at mixed
+// times, then a drain (the pattern of a failure storm).
+func BenchmarkScheduleFanOut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(int64(i + 1))
+		for j := 0; j < 1024; j++ {
+			s.After(time.Duration(s.Rand().Intn(1000))*time.Microsecond, func(Time) {})
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCancel measures timer churn (TCP's per-ack retransmit-timer
+// restart pattern).
+func BenchmarkCancel(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := s.After(time.Second, func(Time) {})
+		s.Cancel(h)
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock from event to event; all model code
+// runs synchronously inside event callbacks. Determinism is guaranteed by a
+// stable tie-break on (time, sequence) and by routing every source of
+// randomness through the simulator's seeded RNG.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual time instant, measured as a duration since the start of
+// the simulation. It is deliberately not time.Time: simulations have no
+// calendar.
+type Time time.Duration
+
+// Common virtual-time unit helpers.
+const (
+	Nanosecond  = Time(time.Nanosecond)
+	Microsecond = Time(time.Microsecond)
+	Millisecond = Time(time.Millisecond)
+	Second      = Time(time.Second)
+)
+
+// Duration converts t to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t−u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats t like a time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func(now Time)
+
+// item is a scheduled event in the priority queue.
+type item struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among equal times
+	fn    Event
+	index int // heap index; -1 once popped or canceled
+}
+
+// eventQueue is a min-heap of items ordered by (at, seq).
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it, ok := x.(*item)
+	if !ok {
+		return
+	}
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct {
+	it *item
+}
+
+// Active reports whether the event is still pending.
+func (h Handle) Active() bool { return h.it != nil && h.it.index >= 0 }
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly.
+var ErrStopped = errors.New("sim: stopped")
+
+// Simulator owns the virtual clock and event queue.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	ran     uint64
+}
+
+// New returns a simulator whose RNG is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation RNG. All model randomness must come from it.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventsRun returns the number of events executed so far.
+func (s *Simulator) EventsRun() uint64 { return s.ran }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past is treated as "now" (the event runs before time advances further).
+func (s *Simulator) At(at Time, fn Event) Handle {
+	if at < s.now {
+		at = s.now
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return Handle{it: it}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d time.Duration, fn Event) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Canceling an already-run or already-
+// canceled event is a no-op. It reports whether the event was pending.
+func (s *Simulator) Cancel(h Handle) bool {
+	if !h.Active() {
+		return false
+	}
+	heap.Remove(&s.queue, h.it.index)
+	return true
+}
+
+// Stop makes Run return ErrStopped after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or the clock passes horizon.
+// A zero horizon means "run to exhaustion". Events scheduled exactly at the
+// horizon still run.
+func (s *Simulator) Run(horizon Time) error {
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if horizon > 0 && next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		popped, ok := heap.Pop(&s.queue).(*item)
+		if !ok {
+			return fmt.Errorf("sim: corrupt event queue entry %T", popped)
+		}
+		s.now = popped.at
+		s.ran++
+		popped.fn(s.now)
+	}
+	if horizon > s.now {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunUntilIdle is Run with no horizon.
+func (s *Simulator) RunUntilIdle() error { return s.Run(0) }
+
+// Ticker invokes fn every interval until canceled via the returned stop
+// function or until pred (if non-nil) returns false.
+func (s *Simulator) Ticker(interval time.Duration, fn Event) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	var (
+		h       Handle
+		stopped bool
+	)
+	var tick Event
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		h = s.After(interval, tick)
+	}
+	h = s.After(interval, tick)
+	return func() {
+		stopped = true
+		s.Cancel(h)
+	}
+}

@@ -1,0 +1,80 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netaddr"
+)
+
+// Address layout constants following the paper's Fig 3(d): host subnets are
+// carved from 10.11.0.0/16 (one /24 per ToR, the ToR itself owning .1),
+// aggregation switches live at 10.12.j.1 and core switches at 10.13.j.1.
+const (
+	dcnPrefixStr      = "10.11.0.0/16"
+	maxToRs           = 256
+	maxSwitchOrdinals = 256
+	maxHostsPerToR    = 253 // .2 … .254
+)
+
+// addrPlanner hands out addresses during topology construction.
+type addrPlanner struct {
+	plan     AddrPlan
+	nextToR  int
+	nextAgg  int
+	nextCore int
+}
+
+func newAddrPlanner() (*addrPlanner, error) {
+	dcn, err := netaddr.ParsePrefix(dcnPrefixStr)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := dcn.Covering()
+	if err != nil {
+		return nil, err
+	}
+	return &addrPlanner{plan: AddrPlan{DCNPrefix: dcn, Covering: cov}}, nil
+}
+
+// tor allocates the next ToR's subnet and router address.
+func (a *addrPlanner) tor() (subnet netaddr.Prefix, addr netaddr.Addr, err error) {
+	if a.nextToR >= maxToRs {
+		return netaddr.Prefix{}, 0, fmt.Errorf("topo: more than %d ToRs not addressable", maxToRs)
+	}
+	t := byte(a.nextToR)
+	a.nextToR++
+	subnet, err = netaddr.PrefixFrom(netaddr.AddrFrom4(10, 11, t, 0), 24)
+	if err != nil {
+		return netaddr.Prefix{}, 0, err
+	}
+	return subnet, netaddr.AddrFrom4(10, 11, t, 1), nil
+}
+
+// host returns the address of host ordinal i (0-based) under the given ToR
+// subnet.
+func hostAddr(subnet netaddr.Prefix, i int) (netaddr.Addr, error) {
+	if i < 0 || i >= maxHostsPerToR {
+		return 0, fmt.Errorf("topo: host ordinal %d outside subnet %v", i, subnet)
+	}
+	return subnet.Nth(uint32(2 + i))
+}
+
+// agg allocates the next aggregation switch address.
+func (a *addrPlanner) agg() (netaddr.Addr, error) {
+	if a.nextAgg >= maxSwitchOrdinals {
+		return 0, fmt.Errorf("topo: more than %d aggregation switches not addressable", maxSwitchOrdinals)
+	}
+	j := byte(a.nextAgg)
+	a.nextAgg++
+	return netaddr.AddrFrom4(10, 12, j, 1), nil
+}
+
+// core allocates the next core switch address.
+func (a *addrPlanner) core() (netaddr.Addr, error) {
+	if a.nextCore >= maxSwitchOrdinals {
+		return 0, fmt.Errorf("topo: more than %d core switches not addressable", maxSwitchOrdinals)
+	}
+	j := byte(a.nextCore)
+	a.nextCore++
+	return netaddr.AddrFrom4(10, 13, j, 1), nil
+}

@@ -1,0 +1,115 @@
+package topo
+
+// Analysis quantifies the §II-D claims — "keeps the merits of fat tree
+// such as … rich path diversity" — structurally, without a control plane.
+type Analysis struct {
+	// Diameter is the longest shortest path between live switches (hops).
+	Diameter int
+	// InterPodPaths counts distinct shortest paths between a
+	// representative pair of ToRs in different pods (0 when the topology
+	// has a single pod layer).
+	InterPodPaths int
+}
+
+// CountShortestPaths returns the shortest-path length (in links) between
+// two nodes over live links, and how many distinct shortest paths realize
+// it. Returns (0, 0) when unreachable.
+func (t *Topology) CountShortestPaths(a, b NodeID) (hops, count int) {
+	if a == b {
+		return 0, 1
+	}
+	dist := make(map[NodeID]int)
+	ways := make(map[NodeID]int)
+	dist[a] = 0
+	ways[a] = 1
+	frontier := []NodeID{a}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, l := range t.LinksOf(u) {
+				v, ok := l.Other(u)
+				if !ok {
+					continue
+				}
+				dv, seen := dist[v]
+				du := dist[u]
+				switch {
+				case !seen:
+					dist[v] = du + 1
+					ways[v] = ways[u]
+					next = append(next, v)
+				case dv == du+1:
+					ways[v] += ways[u]
+				}
+			}
+		}
+		// dedupe next
+		seen := make(map[NodeID]bool, len(next))
+		out := next[:0]
+		for _, v := range next {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		frontier = out
+		if _, ok := dist[b]; ok {
+			break
+		}
+	}
+	d, ok := dist[b]
+	if !ok {
+		return 0, 0
+	}
+	return d, ways[b]
+}
+
+// Analyze computes the structural summary over switches.
+func (t *Topology) Analyze() Analysis {
+	var a Analysis
+	// Diameter over switches via BFS from each switch (fine at these
+	// scales).
+	switches := make([]NodeID, 0)
+	for _, id := range t.LiveNodes() {
+		if t.Node(id).Kind != Host {
+			switches = append(switches, id)
+		}
+	}
+	for _, s := range switches {
+		dist := map[NodeID]int{s: 0}
+		frontier := []NodeID{s}
+		for len(frontier) > 0 {
+			var next []NodeID
+			for _, u := range frontier {
+				for _, l := range t.LinksOf(u) {
+					v, ok := l.Other(u)
+					if !ok || t.Node(v).Kind == Host {
+						continue
+					}
+					if _, seen := dist[v]; !seen {
+						dist[v] = dist[u] + 1
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		for _, d := range dist {
+			if d > a.Diameter {
+				a.Diameter = d
+			}
+		}
+	}
+	// Representative inter-pod ToR pair.
+	tors := t.NodesOfKind(ToR)
+	if len(tors) >= 2 {
+		first := tors[0]
+		for _, other := range tors[1:] {
+			if t.Node(other).Pod != t.Node(first).Pod {
+				_, a.InterPodPaths = t.CountShortestPaths(first, other)
+				break
+			}
+		}
+	}
+	return a
+}

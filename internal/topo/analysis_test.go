@@ -1,0 +1,93 @@
+package topo
+
+import "testing"
+
+func TestCountShortestPathsFatTree(t *testing.T) {
+	// Inter-pod ToR pairs in a k-port fat tree have (k/2)² shortest paths
+	// (choose the aggregation switch, then the core).
+	for _, k := range []int{4, 8} {
+		ft, err := FatTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ft.FindNode("tor-p0-0").ID
+		b := ft.FindNode("tor-p1-0").ID
+		hops, count := ft.CountShortestPaths(a, b)
+		if hops != 4 {
+			t.Fatalf("k=%d inter-pod ToR hops = %d, want 4", k, hops)
+		}
+		want := (k / 2) * (k / 2)
+		if count != want {
+			t.Fatalf("k=%d inter-pod paths = %d, want %d", k, count, want)
+		}
+	}
+}
+
+func TestCountShortestPathsF2Tree(t *testing.T) {
+	// F²Tree keeps fat-tree-like diversity: k/2 aggs × (k/2 − 1) cores.
+	f2, err := F2Tree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f2.FindNode("tor-p0-0").ID
+	b := f2.FindNode("tor-p1-0").ID
+	hops, count := f2.CountShortestPaths(a, b)
+	if hops != 4 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if want := 4 * 3; count != want {
+		t.Fatalf("paths = %d, want %d", count, want)
+	}
+}
+
+func TestCountShortestPathsEdgeCases(t *testing.T) {
+	ft, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ft.FindNode("tor-p0-0").ID
+	if h, c := ft.CountShortestPaths(a, a); h != 0 || c != 1 {
+		t.Fatalf("self path = (%d,%d)", h, c)
+	}
+	// Same-pod ToRs: k/2 two-hop paths via the pod aggs.
+	b := ft.FindNode("tor-p0-1").ID
+	h, c := ft.CountShortestPaths(a, b)
+	if h != 2 || c != 2 {
+		t.Fatalf("same-pod = (%d,%d), want (2,2)", h, c)
+	}
+	// Unreachable after pruning.
+	iso := ft.AddNode(Node{Name: "iso", Kind: Agg, NumPorts: 2})
+	if h, c := ft.CountShortestPaths(a, iso); h != 0 || c != 0 {
+		t.Fatalf("unreachable = (%d,%d)", h, c)
+	}
+}
+
+func TestAnalyzeDiversityAndDiameter(t *testing.T) {
+	ft, err := FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := ft.Analyze()
+	if fa.Diameter != 4 {
+		t.Fatalf("fat tree switch diameter = %d, want 4", fa.Diameter)
+	}
+	if fa.InterPodPaths != 16 {
+		t.Fatalf("fat tree inter-pod paths = %d, want 16", fa.InterPodPaths)
+	}
+
+	f2, err := F2Tree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f2.Analyze()
+	if a.Diameter != 4 {
+		t.Fatalf("F²Tree switch diameter = %d, want 4 (across links add no stretch)", a.Diameter)
+	}
+	if a.InterPodPaths != 12 {
+		t.Fatalf("F²Tree inter-pod paths = %d, want 12", a.InterPodPaths)
+	}
+	// §II-D "rich path diversity": same order of magnitude as fat tree.
+	if a.InterPodPaths*2 < fa.InterPodPaths {
+		t.Fatalf("diversity collapsed: %d vs %d", a.InterPodPaths, fa.InterPodPaths)
+	}
+}

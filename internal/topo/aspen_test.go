@@ -1,0 +1,82 @@
+package topo
+
+import "testing"
+
+func TestAspenTreeStructure(t *testing.T) {
+	for _, tc := range []struct {
+		n, f            int
+		switches, hosts int
+	}{
+		{8, 1, 40, 64}, // Table I: 5n²/(4(f+1)), n³/(4(f+1))
+		{12, 1, 90, 216},
+		{12, 2, 60, 144},
+	} {
+		a, err := AspenTree(tc.n, tc.f)
+		if err != nil {
+			t.Fatalf("AspenTree(%d,%d): %v", tc.n, tc.f, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("AspenTree(%d,%d) invalid: %v", tc.n, tc.f, err)
+		}
+		if got := a.SwitchCount(); got != tc.switches {
+			t.Errorf("AspenTree(%d,%d) switches = %d, want %d (Table I)", tc.n, tc.f, got, tc.switches)
+		}
+		if got := a.HostCount(); got != tc.hosts {
+			t.Errorf("AspenTree(%d,%d) hosts = %d, want %d (Table I)", tc.n, tc.f, got, tc.hosts)
+		}
+		// Every switch port used.
+		for _, id := range a.LiveNodes() {
+			nd := a.Node(id)
+			if nd.Kind == Host {
+				continue
+			}
+			if got := len(a.LinksOf(id)); got != tc.n {
+				t.Fatalf("%s has %d links, want %d", nd.Name, got, tc.n)
+			}
+		}
+	}
+}
+
+func TestAspenTreeParallelFaultTolerantLinks(t *testing.T) {
+	a, err := AspenTree(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := a.FindNode("agg-p0-0")
+	core := a.FindNode("core-g0-0")
+	if got := len(a.LinksBetween(agg.ID, core.ID)); got != 2 {
+		t.Fatalf("parallel agg-core links = %d, want f+1 = 2", got)
+	}
+	// ToR level has no duplication.
+	tor := a.FindNode("tor-p0-0")
+	if got := len(a.LinksBetween(tor.ID, agg.ID)); got != 1 {
+		t.Fatalf("tor-agg links = %d, want 1", got)
+	}
+}
+
+func TestAspenTreeMatchesTable1Formula(t *testing.T) {
+	for _, n := range []int{8, 12, 16} {
+		a, err := AspenTree(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := Table1Row("aspen", n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(a.SwitchCount()) != row.Switches {
+			t.Errorf("n=%d switches built %d, formula %v", n, a.SwitchCount(), row.Switches)
+		}
+		if float64(a.HostCount()) != row.Nodes {
+			t.Errorf("n=%d hosts built %d, formula %v", n, a.HostCount(), row.Nodes)
+		}
+	}
+}
+
+func TestAspenTreeRejectsBadParams(t *testing.T) {
+	for _, tc := range [][2]int{{7, 1}, {8, 0}, {8, 2}, {6, 1}} {
+		if _, err := AspenTree(tc[0], tc[1]); err == nil {
+			t.Errorf("AspenTree(%d,%d) accepted", tc[0], tc[1])
+		}
+	}
+}

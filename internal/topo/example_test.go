@@ -1,0 +1,60 @@
+package topo_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/topo"
+)
+
+// ExampleF2Tree builds the canonical rewired topology and shows it matches
+// the paper's Table I budget.
+func ExampleF2Tree() {
+	t, err := topo.F2Tree(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d switches, %d hosts, %d rings\n",
+		t.Name, t.SwitchCount(), t.HostCount(), len(t.Rings))
+	// Output:
+	// f2tree-8: 54 switches, 72 hosts, 10 rings
+}
+
+// ExampleTopology_RightAcross walks one hop around an aggregation ring.
+func ExampleTopology_RightAcross() {
+	t, err := topo.F2Tree(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := t.NodesOfKind(topo.Agg)[0]
+	right, _, _ := t.RightAcross(agg)
+	left, _, _ := t.LeftAcross(agg)
+	fmt.Printf("%s: right=%s left=%s\n", t.Node(agg).Name, t.Node(right).Name, t.Node(left).Name)
+	// Output:
+	// agg-p0-0: right=agg-p0-1 left=agg-p0-2
+}
+
+// ExampleTable1Row reproduces one row of the paper's Table I.
+func ExampleTable1Row() {
+	row, err := topo.Table1Row("f2tree", 8, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: switches=%.0f nodes=%.0f\n", row.Scheme, row.Switches, row.Nodes)
+	// Output:
+	// F2Tree: switches=54 nodes=72
+}
+
+// ExampleTopology_CountShortestPaths quantifies path diversity.
+func ExampleTopology_CountShortestPaths() {
+	t, err := topo.FatTree(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := t.FindNode("tor-p0-0").ID
+	b := t.FindNode("tor-p1-0").ID
+	hops, count := t.CountShortestPaths(a, b)
+	fmt.Printf("%d hops, %d equal-cost paths\n", hops, count)
+	// Output:
+	// 4 hops, 16 equal-cost paths
+}

@@ -1,0 +1,104 @@
+package topo
+
+import "fmt"
+
+// FatTree builds the standard 3-layer fat tree with n-port switches
+// (Al-Fares et al., SIGCOMM 2008): n pods, each with n/2 ToRs and n/2
+// aggregation switches fully bipartite; (n/2)² cores in n/2 groups where
+// group j serves aggregation switch j of every pod; n/2 hosts per ToR.
+func FatTree(n int) (*Topology, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("topo: fat tree needs even n ≥ 4, got %d", n)
+	}
+	t := NewTopology(fmt.Sprintf("fattree-%d", n))
+	ap, err := newAddrPlanner()
+	if err != nil {
+		return nil, err
+	}
+	t.Plan = ap.plan
+
+	half := n / 2
+	// tors[p][i], aggs[p][i], cores[g][i]
+	tors := make([][]NodeID, n)
+	aggs := make([][]NodeID, n)
+	for p := 0; p < n; p++ {
+		tors[p] = make([]NodeID, half)
+		aggs[p] = make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			subnet, addr, err := ap.tor()
+			if err != nil {
+				return nil, err
+			}
+			tors[p][i] = t.AddNode(Node{
+				Name: fmt.Sprintf("tor-p%d-%d", p, i), Kind: ToR, NumPorts: n,
+				Addr: addr, Subnet: subnet, Pod: p, Index: i,
+			})
+		}
+		for i := 0; i < half; i++ {
+			addr, err := ap.agg()
+			if err != nil {
+				return nil, err
+			}
+			aggs[p][i] = t.AddNode(Node{
+				Name: fmt.Sprintf("agg-p%d-%d", p, i), Kind: Agg, NumPorts: n,
+				Addr: addr, Pod: p, Index: i,
+			})
+		}
+	}
+	cores := make([][]NodeID, half)
+	for g := 0; g < half; g++ {
+		cores[g] = make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			addr, err := ap.core()
+			if err != nil {
+				return nil, err
+			}
+			cores[g][i] = t.AddNode(Node{
+				Name: fmt.Sprintf("core-g%d-%d", g, i), Kind: Core, NumPorts: n,
+				Addr: addr, Pod: g, Index: i,
+			})
+		}
+	}
+
+	// Hosts, then links. Hosts first within each ToR so host port 0 of the
+	// ToR faces down, matching real wiring conventions is unimportant; we
+	// simply wire in a deterministic order.
+	for p := 0; p < n; p++ {
+		for i := 0; i < half; i++ {
+			tor := tors[p][i]
+			subnet := t.Node(tor).Subnet
+			for h := 0; h < half; h++ {
+				haddr, err := hostAddr(subnet, h)
+				if err != nil {
+					return nil, err
+				}
+				hid := t.AddNode(Node{
+					Name: fmt.Sprintf("host-p%d-t%d-%d", p, i, h), Kind: Host,
+					NumPorts: 1, Addr: haddr, Pod: p, Index: h,
+				})
+				if _, err := t.AddLink(hid, tor, HostLink); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// ToR ↔ aggregation full bipartite within the pod.
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				if _, err := t.AddLink(tors[p][i], aggs[p][j], EdgeLink); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Aggregation ↔ core: agg j of pod p connects to every core of group j.
+	for p := 0; p < n; p++ {
+		for j := 0; j < half; j++ {
+			for c := 0; c < half; c++ {
+				if _, err := t.AddLink(aggs[p][j], cores[j][c], SpineLink); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,80 @@
+package topo
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonTopology is the exported wire format.
+type jsonTopology struct {
+	Name     string     `json:"name"`
+	DCN      string     `json:"dcnPrefix"`
+	Covering string     `json:"coveringPrefix"`
+	Nodes    []jsonNode `json:"nodes"`
+	Links    []jsonLink `json:"links"`
+	Rings    []jsonRing `json:"rings,omitempty"`
+}
+
+type jsonNode struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Addr   string `json:"addr"`
+	Subnet string `json:"subnet,omitempty"`
+	Pod    int    `json:"pod"`
+	Index  int    `json:"index"`
+	Ports  int    `json:"ports"`
+}
+
+type jsonLink struct {
+	ID    int    `json:"id"`
+	A     int    `json:"a"`
+	APort int    `json:"aPort"`
+	B     int    `json:"b"`
+	BPort int    `json:"bPort"`
+	Class string `json:"class"`
+}
+
+type jsonRing struct {
+	Layer   string `json:"layer"`
+	Pod     int    `json:"pod"`
+	Members []int  `json:"members"`
+}
+
+// WriteJSON exports the live topology (pruned nodes and removed links
+// omitted) for external tooling — visualizers, config generators, diff
+// review of rewiring plans.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	out := jsonTopology{
+		Name:     t.Name,
+		DCN:      t.Plan.DCNPrefix.String(),
+		Covering: t.Plan.Covering.String(),
+	}
+	for _, id := range t.LiveNodes() {
+		nd := t.Node(id)
+		jn := jsonNode{
+			ID: int(nd.ID), Name: nd.Name, Kind: nd.Kind.String(),
+			Addr: nd.Addr.String(), Pod: nd.Pod, Index: nd.Index, Ports: nd.NumPorts,
+		}
+		if !nd.Subnet.IsZero() {
+			jn.Subnet = nd.Subnet.String()
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	for _, l := range t.LiveLinks() {
+		out.Links = append(out.Links, jsonLink{
+			ID: int(l.ID), A: int(l.A), APort: l.APort,
+			B: int(l.B), BPort: l.BPort, Class: l.Class.String(),
+		})
+	}
+	for _, r := range t.Rings {
+		jr := jsonRing{Layer: r.Layer.String(), Pod: r.Pod}
+		for _, m := range r.Members {
+			jr.Members = append(jr.Members, int(m))
+		}
+		out.Rings = append(out.Rings, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSONRoundTripsStructure(t *testing.T) {
+	tp, err := F2Tree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name  string `json:"name"`
+		DCN   string `json:"dcnPrefix"`
+		Nodes []struct {
+			Kind   string `json:"kind"`
+			Subnet string `json:"subnet"`
+		} `json:"nodes"`
+		Links []struct {
+			Class string `json:"class"`
+		} `json:"links"`
+		Rings []struct {
+			Members []int `json:"members"`
+		} `json:"rings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Name != "f2tree-6" || decoded.DCN != "10.11.0.0/16" {
+		t.Fatalf("header wrong: %+v", decoded)
+	}
+	if len(decoded.Nodes) != len(tp.LiveNodes()) {
+		t.Fatalf("nodes = %d, want %d", len(decoded.Nodes), len(tp.LiveNodes()))
+	}
+	if len(decoded.Links) != len(tp.LiveLinks()) {
+		t.Fatalf("links = %d, want %d", len(decoded.Links), len(tp.LiveLinks()))
+	}
+	if len(decoded.Rings) != len(tp.Rings) {
+		t.Fatalf("rings = %d, want %d", len(decoded.Rings), len(tp.Rings))
+	}
+	across, tors := 0, 0
+	for _, l := range decoded.Links {
+		if l.Class == "across" {
+			across++
+		}
+	}
+	for _, n := range decoded.Nodes {
+		if n.Kind == "tor" {
+			tors++
+			if n.Subnet == "" {
+				t.Fatal("ToR without subnet in export")
+			}
+		}
+	}
+	if across == 0 || tors == 0 {
+		t.Fatalf("export missing classes: across=%d tors=%d", across, tors)
+	}
+}
+
+func TestWriteJSONOmitsPruned(t *testing.T) {
+	tp, err := RewireFatTreePrototype(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("tor-p1-0")) {
+		t.Fatal("pruned ToR exported")
+	}
+}

@@ -1,0 +1,76 @@
+package topo
+
+import "fmt"
+
+// Scalability reproduces one row of the paper's Table I: the switch and
+// host budget of a 3-layer DCN built from homogeneous N-port switches,
+// plus whether the scheme requires routing-protocol or data-plane changes.
+type Scalability struct {
+	Scheme           string
+	Switches         float64
+	Nodes            float64
+	ModifiesRouting  string // "n/a", "yes", "no"
+	ModifiesDataPath string
+}
+
+// Table1Row computes the Table I entry for the named scheme at port count
+// n. Aspen tree takes its fault-tolerance parameter f (≥1); the other
+// schemes ignore it. Supported schemes: "fattree", "vl2", "f2tree",
+// "aspen", "f10", "ddc".
+func Table1Row(scheme string, n int, f int) (Scalability, error) {
+	nf := float64(n)
+	switch scheme {
+	case "fattree":
+		return Scalability{
+			Scheme: "Fat tree", Switches: 5 * nf * nf / 4, Nodes: nf * nf * nf / 4,
+			ModifiesRouting: "n/a", ModifiesDataPath: "n/a",
+		}, nil
+	case "vl2":
+		return Scalability{
+			Scheme: "VL2", Switches: 5 * nf / 2, Nodes: nf * nf / 2,
+			ModifiesRouting: "n/a", ModifiesDataPath: "n/a",
+		}, nil
+	case "f2tree":
+		return Scalability{
+			Scheme: "F2Tree", Switches: 5*nf*nf/4 - 7*nf/2 + 2, Nodes: nf*nf*nf/4 - nf*nf + nf,
+			ModifiesRouting: "no", ModifiesDataPath: "no",
+		}, nil
+	case "aspen":
+		if f < 1 {
+			return Scalability{}, fmt.Errorf("topo: aspen needs f ≥ 1, got %d", f)
+		}
+		ff := float64(f)
+		return Scalability{
+			Scheme:   fmt.Sprintf("Aspen tree <%d,0>", f),
+			Switches: 5 * nf * nf / (4 * (ff + 1)), Nodes: nf * nf * nf / (4 * (ff + 1)),
+			ModifiesRouting: "yes", ModifiesDataPath: "no",
+		}, nil
+	case "f10":
+		return Scalability{
+			Scheme: "F10", Switches: 5 * nf * nf / 4, Nodes: nf * nf * nf / 4,
+			ModifiesRouting: "yes", ModifiesDataPath: "yes",
+		}, nil
+	case "ddc":
+		return Scalability{
+			Scheme: "DDC", Switches: 0, Nodes: 0, // n/a in the paper
+			ModifiesRouting: "yes", ModifiesDataPath: "yes",
+		}, nil
+	default:
+		return Scalability{}, fmt.Errorf("topo: unknown scheme %q", scheme)
+	}
+}
+
+// Table1Schemes lists the schemes in the paper's row order.
+func Table1Schemes() []string {
+	return []string{"fattree", "vl2", "f2tree", "aspen", "f10", "ddc"}
+}
+
+// NodeLossFraction returns the fraction of fat tree's hosts that F²Tree
+// gives up at port count n — the paper's "about 2 % fewer nodes with
+// 128-port switches" claim (§II-D).
+func NodeLossFraction(n int) float64 {
+	nf := float64(n)
+	fat := nf * nf * nf / 4
+	f2 := fat - nf*nf + nf
+	return (fat - f2) / fat
+}

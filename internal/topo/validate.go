@@ -1,0 +1,107 @@
+package topo
+
+import "fmt"
+
+// Validate checks structural invariants: every live link occupies exactly
+// the ports it claims, no port is double-booked, no live link touches a
+// pruned node, hosts have at most one link, ToR subnets are disjoint and
+// inside the DCN prefix, ring metadata references live across links, and
+// the live graph is connected.
+func (t *Topology) Validate() error {
+	// Port bookkeeping.
+	seen := make(map[[2]int]LinkID) // (node, port) → link
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.Removed {
+			continue
+		}
+		if t.Nodes[l.A].Pruned || t.Nodes[l.B].Pruned {
+			return fmt.Errorf("topo: live link %d touches pruned node", l.ID)
+		}
+		for _, end := range []struct {
+			n NodeID
+			p int
+		}{{l.A, l.APort}, {l.B, l.BPort}} {
+			if end.p < 0 || end.p >= t.Nodes[end.n].NumPorts {
+				return fmt.Errorf("topo: link %d uses port %d outside %s's %d ports",
+					l.ID, end.p, t.Nodes[end.n].Name, t.Nodes[end.n].NumPorts)
+			}
+			key := [2]int{int(end.n), end.p}
+			if prev, dup := seen[key]; dup {
+				return fmt.Errorf("topo: port %d of %s used by links %d and %d",
+					end.p, t.Nodes[end.n].Name, prev, l.ID)
+			}
+			seen[key] = l.ID
+			if got := t.ports[end.n][end.p]; got != l.ID {
+				return fmt.Errorf("topo: port table of %s port %d says link %d, link says %d",
+					t.Nodes[end.n].Name, end.p, got, l.ID)
+			}
+		}
+	}
+	// Hosts are single-homed.
+	for _, h := range t.NodesOfKind(Host) {
+		if got := len(t.LinksOf(h)); got != 1 {
+			return fmt.Errorf("topo: host %s has %d links, want 1", t.Nodes[h].Name, got)
+		}
+	}
+	// ToR subnets disjoint, inside the DCN prefix.
+	tors := t.NodesOfKind(ToR)
+	for i, a := range tors {
+		sa := t.Nodes[a].Subnet
+		if !t.Plan.DCNPrefix.ContainsPrefix(sa) {
+			return fmt.Errorf("topo: subnet %v of %s outside DCN prefix %v",
+				sa, t.Nodes[a].Name, t.Plan.DCNPrefix)
+		}
+		for _, b := range tors[i+1:] {
+			if sa.Overlaps(t.Nodes[b].Subnet) {
+				return fmt.Errorf("topo: subnets of %s and %s overlap",
+					t.Nodes[a].Name, t.Nodes[b].Name)
+			}
+		}
+	}
+	// Ring metadata.
+	for ri := range t.Rings {
+		r := &t.Rings[ri]
+		if len(r.Members) != len(r.RightLink) {
+			return fmt.Errorf("topo: ring %d member/link mismatch", ri)
+		}
+		for i, m := range r.Members {
+			if t.Nodes[m].Pruned {
+				return fmt.Errorf("topo: ring %d member %s pruned", ri, t.Nodes[m].Name)
+			}
+			l := &t.Links[r.RightLink[i]]
+			if l.Removed || l.Class != AcrossLink {
+				return fmt.Errorf("topo: ring %d right link %d invalid", ri, r.RightLink[i])
+			}
+			next := r.Members[(i+1)%len(r.Members)]
+			if !((l.A == m && l.B == next) || (l.B == m && l.A == next)) {
+				return fmt.Errorf("topo: ring %d link %d does not join %s–%s",
+					ri, l.ID, t.Nodes[m].Name, t.Nodes[next].Name)
+			}
+		}
+	}
+	// Connectivity over live nodes.
+	live := t.LiveNodes()
+	if len(live) == 0 {
+		return fmt.Errorf("topo: no live nodes")
+	}
+	visited := make(map[NodeID]bool, len(live))
+	queue := []NodeID{live[0]}
+	visited[live[0]] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range t.LinksOf(n) {
+			if o, ok := l.Other(n); ok && !visited[o] {
+				visited[o] = true
+				queue = append(queue, o)
+			}
+		}
+	}
+	for _, n := range live {
+		if !visited[n] {
+			return fmt.Errorf("topo: live node %s unreachable", t.Nodes[n].Name)
+		}
+	}
+	return nil
+}

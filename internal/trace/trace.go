@@ -1,0 +1,121 @@
+// Package trace records simulator events as structured records, both for
+// post-mortem debugging of experiments and for machine-readable experiment
+// artifacts (JSON Lines via Dump). It subscribes to the hooks the network
+// and control planes already expose — the simulator itself stays
+// trace-free.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/ospf"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Kind classifies a trace record.
+type Kind string
+
+// Record kinds.
+const (
+	KindPortState Kind = "port-state"
+	KindDrop      Kind = "drop"
+	KindSPF       Kind = "spf"
+)
+
+// Record is one event.
+type Record struct {
+	AtMicros int64  `json:"atUs"`
+	Kind     Kind   `json:"kind"`
+	Node     string `json:"node"`
+	// Detail carries kind-specific text (drop cause, port/state, …).
+	Detail string `json:"detail"`
+}
+
+// Tracer accumulates records in order.
+type Tracer struct {
+	nw      *network.Network
+	records []Record
+	limit   int
+}
+
+// Attach subscribes a tracer to a network's hooks. The limit bounds
+// memory; once reached, further records are dropped silently (Count keeps
+// counting). A limit ≤ 0 means 1<<20 records.
+func Attach(nw *network.Network, limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	t := &Tracer{nw: nw, limit: limit}
+	nw.OnPortState(func(now sim.Time, node topo.NodeID, port int, up bool) {
+		state := "down"
+		if up {
+			state = "up"
+		}
+		t.add(now, KindPortState, node, fmt.Sprintf("port %d %s", port, state))
+	})
+	nw.OnDrop(func(now sim.Time, at topo.NodeID, pkt *network.Packet, cause network.DropCause) {
+		t.add(now, KindDrop, at, fmt.Sprintf("%v dst=%v size=%d hops=%d", cause, pkt.Flow.Dst, pkt.Size, pkt.Hops))
+	})
+	return t
+}
+
+// AttachOSPF also records SPF runs.
+func (t *Tracer) AttachOSPF(dom *ospf.Domain) {
+	dom.OnSPF(func(now sim.Time, node topo.NodeID) {
+		t.add(now, KindSPF, node, "spf run")
+	})
+}
+
+func (t *Tracer) add(now sim.Time, kind Kind, node topo.NodeID, detail string) {
+	if len(t.records) >= t.limit {
+		return
+	}
+	t.records = append(t.records, Record{
+		AtMicros: now.Duration().Microseconds(),
+		Kind:     kind,
+		Node:     t.nw.Topology().Node(node).Name,
+		Detail:   detail,
+	})
+}
+
+// Records returns the accumulated records (live slice; copy to mutate).
+func (t *Tracer) Records() []Record { return t.records }
+
+// CountKind returns how many records of a kind were captured.
+func (t *Tracer) CountKind(k Kind) int {
+	n := 0
+	for _, r := range t.records {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Between returns the records in [from, to).
+func (t *Tracer) Between(from, to time.Duration) []Record {
+	var out []Record
+	for _, r := range t.records {
+		at := time.Duration(r.AtMicros) * time.Microsecond
+		if at >= from && at < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dump writes the records as JSON Lines.
+func (t *Tracer) Dump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fib"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// failRun builds a fat tree lab with a tracer, fails a downward link and
+// runs to 1 s.
+func failRun(t *testing.T, limit int) (*Tracer, *core.Lab) {
+	t.Helper()
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewLab(core.LabConfig{Topology: tp, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Attach(lab.Net, limit)
+	tr.AttachOSPF(lab.Domain)
+	hosts := tp.NodesOfKind(topo.Host)
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	flow := fib.FlowKey{
+		Src: tp.Node(src).Addr, Dst: tp.Node(dst).Addr,
+		Proto: network.ProtoUDP, SrcPort: 40000, DstPort: 9,
+	}
+	stop := lab.Sim.Ticker(time.Millisecond, func(sim.Time) {
+		lab.Net.SendFromHost(src, &network.Packet{Flow: flow, Size: 1488})
+	})
+	defer stop()
+	lab.Sim.At(100*sim.Millisecond, func(sim.Time) {
+		p, err := lab.Net.PathTrace(src, flow)
+		if err != nil {
+			t.Errorf("trace: %v", err)
+			return
+		}
+		links, err := failure.ConditionLinks(tp, failure.C1, p)
+		if err != nil {
+			t.Errorf("cond: %v", err)
+			return
+		}
+		lab.Net.FailLink(links[0])
+	})
+	if err := lab.Sim.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tr, lab
+}
+
+func TestTracerCapturesRecoveryAnatomy(t *testing.T) {
+	tr, _ := failRun(t, 0)
+	// Two endpoints detect the failure.
+	if got := tr.CountKind(KindPortState); got != 2 {
+		t.Fatalf("port-state records = %d, want 2", got)
+	}
+	// The blackhole produced drops, every one between failure and
+	// reconvergence.
+	if tr.CountKind(KindDrop) == 0 {
+		t.Fatal("no drops recorded")
+	}
+	for _, r := range tr.Records() {
+		if r.Kind != KindDrop {
+			continue
+		}
+		at := time.Duration(r.AtMicros) * time.Microsecond
+		if at < 100*time.Millisecond || at > 400*time.Millisecond {
+			t.Fatalf("drop outside the outage window: %+v", r)
+		}
+		if !strings.Contains(r.Detail, "link-down") && !strings.Contains(r.Detail, "no-route") {
+			t.Fatalf("unexpected drop detail %q", r.Detail)
+		}
+	}
+	// SPF ran on multiple routers after the LSA flood.
+	if got := tr.CountKind(KindSPF); got < 4 {
+		t.Fatalf("spf records = %d, want several", got)
+	}
+	// Ordering: port-state precedes the first SPF.
+	var firstPort, firstSPF int64 = -1, -1
+	for _, r := range tr.Records() {
+		switch r.Kind {
+		case KindPortState:
+			if firstPort == -1 {
+				firstPort = r.AtMicros
+			}
+		case KindSPF:
+			if firstSPF == -1 {
+				firstSPF = r.AtMicros
+			}
+		}
+	}
+	if firstPort == -1 || firstSPF == -1 || firstPort >= firstSPF {
+		t.Fatalf("detection (%d) must precede SPF (%d)", firstPort, firstSPF)
+	}
+}
+
+func TestTracerBetween(t *testing.T) {
+	tr, _ := failRun(t, 0)
+	all := len(tr.Records())
+	window := tr.Between(100*time.Millisecond, 200*time.Millisecond)
+	if len(window) == 0 || len(window) >= all {
+		t.Fatalf("window records = %d of %d", len(window), all)
+	}
+	for _, r := range window {
+		at := time.Duration(r.AtMicros) * time.Microsecond
+		if at < 100*time.Millisecond || at >= 200*time.Millisecond {
+			t.Fatalf("record outside window: %+v", r)
+		}
+	}
+}
+
+func TestTracerLimitBounds(t *testing.T) {
+	tr, _ := failRun(t, 5)
+	if got := len(tr.Records()); got != 5 {
+		t.Fatalf("records = %d, want capped 5", got)
+	}
+}
+
+func TestTracerDumpJSONLines(t *testing.T) {
+	tr, _ := failRun(t, 0)
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(tr.Records()) {
+		t.Fatalf("lines = %d, records = %d", len(lines), len(tr.Records()))
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if rec.Kind == "" || rec.Node == "" {
+		t.Fatalf("decoded record incomplete: %+v", rec)
+	}
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestUpdateRTTFollowsRFC6298(t *testing.T) {
+	c := &Conn{cfg: DefaultTCPConfig()}
+	c.updateRTT(100 * time.Millisecond)
+	if c.srtt != 100*time.Millisecond || c.rttvar != 50*time.Millisecond {
+		t.Fatalf("first sample: srtt=%v rttvar=%v", c.srtt, c.rttvar)
+	}
+	// Second identical sample shrinks the variance.
+	c.updateRTT(100 * time.Millisecond)
+	if c.srtt != 100*time.Millisecond {
+		t.Fatalf("srtt drifted: %v", c.srtt)
+	}
+	if c.rttvar >= 50*time.Millisecond {
+		t.Fatalf("rttvar did not shrink: %v", c.rttvar)
+	}
+	// A spike pulls srtt up by 1/8 of the difference.
+	c2 := &Conn{cfg: DefaultTCPConfig()}
+	c2.updateRTT(80 * time.Millisecond)
+	c2.updateRTT(160 * time.Millisecond)
+	if c2.srtt != 90*time.Millisecond {
+		t.Fatalf("srtt after spike = %v, want 90ms", c2.srtt)
+	}
+}
+
+func TestComputedRTOBounds(t *testing.T) {
+	c := &Conn{cfg: DefaultTCPConfig()}
+	// No estimate yet: InitRTO.
+	if got := c.computedRTO(); got != c.cfg.InitRTO {
+		t.Fatalf("rto = %v, want init", got)
+	}
+	// Tiny RTT: floored at MinRTO.
+	c.updateRTT(200 * time.Microsecond)
+	if got := c.computedRTO(); got != c.cfg.MinRTO {
+		t.Fatalf("rto = %v, want floor %v", got, c.cfg.MinRTO)
+	}
+	// Huge RTT: capped at MaxRTO.
+	c2 := &Conn{cfg: TCPConfig{MaxRTO: time.Second}.withDefaults()}
+	c2.updateRTT(10 * time.Second)
+	if got := c2.computedRTO(); got != time.Second {
+		t.Fatalf("rto = %v, want cap 1s", got)
+	}
+}
+
+func TestMaxWindowRespected(t *testing.T) {
+	r := newRig(t)
+	const window = 16 * 1024
+	var maxInflight int64
+	if err := r.b.Listen(80, func(_ sim.Time, c *Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.a.DialConfig(r.b.Addr(), 80, TCPConfig{MaxWindowBytes: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OnEstablished(func(sim.Time) { c.Send(400 * 1024) })
+	stop := r.sim.Ticker(10*time.Microsecond, func(sim.Time) {
+		if fl := c.sndNxt - c.sndUna; fl > maxInflight {
+			maxInflight = fl
+		}
+	})
+	defer stop()
+	if err := r.sim.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Acked() != 400*1024 {
+		t.Fatalf("acked = %d", c.Acked())
+	}
+	if maxInflight > window {
+		t.Fatalf("inflight %d exceeded window %d", maxInflight, window)
+	}
+	if maxInflight < window/2 {
+		t.Fatalf("inflight %d never approached window; pacing bug?", maxInflight)
+	}
+}
+
+func TestDupAckThresholdIsThree(t *testing.T) {
+	r := newRig(t)
+	var got int64
+	if err := r.b.Listen(80, func(_ sim.Time, c *Conn) {
+		c.OnData(func(_ sim.Time, n int64) { got = n })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the first data segment; only TWO further segments follow — not
+	// enough dupacks for fast retransmit, so recovery must be an RTO.
+	dropped := false
+	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, pkt *network.Packet) bool {
+		seg, ok := pkt.Payload.(*Segment)
+		if !ok || dropped || at != r.a.Host() {
+			return false
+		}
+		if seg.Len > 0 && seg.Seq == 0 {
+			dropped = true
+			return true
+		}
+		return false
+	})
+	c, err := r.a.Dial(r.b.Addr(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OnEstablished(func(sim.Time) { c.Send(3 * MSS) })
+	if err := r.sim.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3*MSS {
+		t.Fatalf("received %d", got)
+	}
+	if c.Timeouts() != 1 {
+		t.Fatalf("timeouts = %d, want 1 (2 dupacks must not trigger fast rtx)", c.Timeouts())
+	}
+}

@@ -1,0 +1,155 @@
+// Package vis renders experiment series and topologies as terminal art:
+// unicode sparklines for the paper's throughput/delay figures and a pod
+// diagram for rewiring plans. Pure formatting; no dependencies beyond the
+// standard library.
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values scaled into ▁–█ glyphs. An empty input yields
+// an empty string; a constant series renders at the lowest glyph.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	b.Grow(len(values) * 3)
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Series is one labeled line of a chart.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Chart renders series as aligned sparklines with their ranges.
+func Chart(title string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	width := 0
+	for _, s := range series {
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	for _, s := range series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Values) == 0 {
+			lo, hi = 0, 0
+		}
+		fmt.Fprintf(&b, "%-*s %s [%.1f … %.1f]\n", width, s.Label, Sparkline(s.Values), lo, hi)
+	}
+	return b.String()
+}
+
+// Downsample reduces values to at most n points by bucket-averaging, so
+// long series fit a terminal row.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Topology renders a pod/ring diagram: one line per pod listing its
+// switches, with ring membership marked by ⟲.
+func Topology(t *topo.Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d switches, %d hosts, %d links\n",
+		t.Name, t.SwitchCount(), t.HostCount(), len(t.LiveLinks()))
+	inRing := make(map[topo.NodeID]bool)
+	for _, r := range t.Rings {
+		for _, m := range r.Members {
+			inRing[m] = true
+		}
+	}
+	mark := func(id topo.NodeID) string {
+		name := t.Node(id).Name
+		if inRing[id] {
+			return name + "⟲"
+		}
+		return name
+	}
+	// Group aggregation + ToR switches by pod.
+	pods := map[int][]topo.NodeID{}
+	maxPod := -1
+	for _, kind := range []topo.Kind{topo.ToR, topo.Agg} {
+		for _, id := range t.NodesOfKind(kind) {
+			p := t.Node(id).Pod
+			pods[p] = append(pods[p], id)
+			if p > maxPod {
+				maxPod = p
+			}
+		}
+	}
+	for p := 0; p <= maxPod; p++ {
+		ids := pods[p]
+		if len(ids) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  pod %d:", p)
+		for _, id := range ids {
+			b.WriteByte(' ')
+			b.WriteString(mark(id))
+		}
+		b.WriteByte('\n')
+	}
+	cores := t.NodesOfKind(topo.Core)
+	if len(cores) > 0 {
+		b.WriteString("  core:")
+		for _, id := range cores {
+			b.WriteByte(' ')
+			b.WriteString(mark(id))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Rings) > 0 {
+		fmt.Fprintf(&b, "  rings: %d (⟲ members carry two across links + two backup routes)\n", len(t.Rings))
+	}
+	return b.String()
+}

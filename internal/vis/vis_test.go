@@ -1,0 +1,85 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty input → %q", got)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("constant series = %q", flat)
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if ramp != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q", ramp)
+	}
+	// Outage shape: high, zero, high.
+	s := Sparkline([]float64{10, 10, 0, 0, 10})
+	if !strings.Contains(s, "▁") || !strings.Contains(s, "█") {
+		t.Fatalf("outage shape = %q", s)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	ds := Downsample(vals, 10)
+	if len(ds) != 10 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] <= ds[i-1] {
+			t.Fatal("downsample not monotone on ramp")
+		}
+	}
+	if got := Downsample(vals, 200); len(got) != 100 {
+		t.Fatal("upsample should be identity")
+	}
+	if got := Downsample(vals, 0); len(got) != 100 {
+		t.Fatal("n=0 should be identity")
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart("Fig X", []Series{
+		{Label: "fat", Values: []float64{1, 2, 3}},
+		{Label: "f2tree", Values: []float64{3, 2, 1}},
+	})
+	for _, want := range []string{"Fig X", "fat", "f2tree", "[1.0 … 3.0]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Chart("t", []Series{{Label: "empty"}}), "empty") {
+		t.Fatal("empty series breaks chart")
+	}
+}
+
+func TestTopologyArt(t *testing.T) {
+	tp, err := topo.F2Tree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Topology(tp)
+	for _, want := range []string{"f2tree-6", "pod 0:", "core:", "⟲", "rings:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("art missing %q:\n%s", want, out)
+		}
+	}
+	ft, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = Topology(ft)
+	if strings.Contains(out, "⟲") {
+		t.Fatal("fat tree should have no ring marks")
+	}
+}

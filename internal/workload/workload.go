@@ -1,0 +1,276 @@
+// Package workload generates the paper's §IV-B traffic: partition-
+// aggregate request fan-outs (one client queries 8 workers and waits for
+// 2 KB responses — the front-end pattern of [24] DCTCP) plus log-normal
+// background flows derived from [25] Benson et al.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// WorkerPort is the TCP port partition-aggregate workers listen on.
+const WorkerPort = 5000
+
+// BackgroundPort is the TCP port background sinks listen on.
+const BackgroundPort = 5001
+
+// PartitionAggregateConfig shapes the request workload.
+type PartitionAggregateConfig struct {
+	// Workers is the fan-out per request (the paper's 8).
+	Workers int
+	// RequestBytes is the query size ("a small TCP single request").
+	RequestBytes int
+	// ResponseBytes is each worker's answer (the paper's 2 KB).
+	ResponseBytes int
+	// MeanInterval is the mean gap between requests (exponential
+	// arrivals). 3000 requests over 600 s → 200 ms.
+	MeanInterval time.Duration
+	// Requests caps the number of requests issued.
+	Requests int
+}
+
+// DefaultPartitionAggregateConfig matches the paper's experiment scale.
+func DefaultPartitionAggregateConfig() PartitionAggregateConfig {
+	return PartitionAggregateConfig{
+		Workers:       8,
+		RequestBytes:  100,
+		ResponseBytes: 2000,
+		MeanInterval:  200 * time.Millisecond,
+		Requests:      3000,
+	}
+}
+
+// RequestResult records one partition-aggregate request.
+type RequestResult struct {
+	StartedAt   sim.Time
+	CompletedAt sim.Time // zero if never completed
+	Responses   int      // completed worker responses
+}
+
+// Completed reports whether every response arrived.
+func (r RequestResult) Completed() bool { return r.CompletedAt != 0 }
+
+// CompletionTime returns the request latency (only valid if Completed).
+func (r RequestResult) CompletionTime() time.Duration {
+	return r.CompletedAt.Sub(r.StartedAt)
+}
+
+// PartitionAggregate drives the request workload over a set of host stacks.
+type PartitionAggregate struct {
+	cfg     PartitionAggregateConfig
+	nw      *network.Network
+	stacks  []*transport.Stack
+	results []*RequestResult
+	issued  int
+	stopped bool
+}
+
+// NewPartitionAggregate prepares the workload: every stack gets a worker
+// listener that answers RequestBytes-sized queries with ResponseBytes.
+func NewPartitionAggregate(nw *network.Network, stacks []*transport.Stack, cfg PartitionAggregateConfig) (*PartitionAggregate, error) {
+	if len(stacks) < cfg.Workers+1 {
+		return nil, fmt.Errorf("workload: need ≥ %d hosts, have %d", cfg.Workers+1, len(stacks))
+	}
+	pa := &PartitionAggregate{cfg: cfg, nw: nw, stacks: stacks}
+	for _, st := range stacks {
+		reqBytes := int64(cfg.RequestBytes)
+		respBytes := cfg.ResponseBytes
+		err := st.Listen(WorkerPort, func(_ sim.Time, c *transport.Conn) {
+			answered := false
+			c.OnData(func(_ sim.Time, n int64) {
+				if !answered && n >= reqBytes {
+					answered = true
+					c.Send(respBytes)
+				}
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pa, nil
+}
+
+// Start begins issuing requests at exponential intervals.
+func (pa *PartitionAggregate) Start() {
+	pa.scheduleNext()
+}
+
+// Stop ceases new requests.
+func (pa *PartitionAggregate) Stop() { pa.stopped = true }
+
+// Results returns the request records (live slice; read after the run).
+func (pa *PartitionAggregate) Results() []*RequestResult { return pa.results }
+
+func (pa *PartitionAggregate) scheduleNext() {
+	if pa.stopped || pa.issued >= pa.cfg.Requests {
+		return
+	}
+	rng := pa.nw.Sim().Rand()
+	wait := time.Duration(rng.ExpFloat64() * float64(pa.cfg.MeanInterval))
+	pa.nw.Sim().After(wait, func(now sim.Time) {
+		if pa.stopped {
+			return
+		}
+		pa.issue(now)
+		pa.scheduleNext()
+	})
+}
+
+// issue launches one fan-out request.
+func (pa *PartitionAggregate) issue(now sim.Time) {
+	rng := pa.nw.Sim().Rand()
+	pa.issued++
+	// Pick a client and `Workers` distinct other hosts.
+	perm := rng.Perm(len(pa.stacks))
+	client := pa.stacks[perm[0]]
+	workers := perm[1 : pa.cfg.Workers+1]
+
+	res := &RequestResult{StartedAt: now}
+	pa.results = append(pa.results, res)
+	for _, wi := range workers {
+		worker := pa.stacks[wi]
+		conn, err := client.Dial(worker.Addr(), WorkerPort)
+		if err != nil {
+			continue // ephemeral-port collision; treated as a lost response
+		}
+		want := int64(pa.cfg.ResponseBytes)
+		doneThis := false
+		conn.OnData(func(at sim.Time, n int64) {
+			if doneThis || n < want {
+				return
+			}
+			doneThis = true
+			res.Responses++
+			if res.Responses == pa.cfg.Workers {
+				res.CompletedAt = at
+			}
+			conn.Close()
+		})
+		c := conn
+		conn.OnEstablished(func(sim.Time) { c.Send(pa.cfg.RequestBytes) })
+	}
+}
+
+// MissRatio returns the fraction of requests whose completion time exceeds
+// the deadline (incomplete requests count as misses). Returns the ratio and
+// the sample count.
+func MissRatio(results []*RequestResult, deadline time.Duration) (float64, int) {
+	if len(results) == 0 {
+		return 0, 0
+	}
+	miss := 0
+	for _, r := range results {
+		if !r.Completed() || r.CompletionTime() > deadline {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(results)), len(results)
+}
+
+// CompletionTimes extracts the latencies of completed requests in seconds.
+func CompletionTimes(results []*RequestResult) []float64 {
+	out := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Completed() {
+			out = append(out, r.CompletionTime().Seconds())
+		}
+	}
+	return out
+}
+
+// BackgroundConfig shapes the background traffic.
+type BackgroundConfig struct {
+	// FlowBytes is the log-normal flow size distribution (bytes).
+	FlowBytes sim.LogNormal
+	// InterArrival is the log-normal gap between flow starts (seconds).
+	InterArrival sim.LogNormal
+	// Flows caps how many flows start.
+	Flows int
+}
+
+// DefaultBackgroundConfig gives ≈ 1500 flows in 600 s with the heavy-tailed
+// sizes of [25] (median 30 KB, p95 1 MB).
+func DefaultBackgroundConfig() (BackgroundConfig, error) {
+	size, err := sim.LogNormalFromMedianP95(30e3, 1e6)
+	if err != nil {
+		return BackgroundConfig{}, err
+	}
+	inter, err := sim.LogNormalFromMedianP95(0.25, 1.5)
+	if err != nil {
+		return BackgroundConfig{}, err
+	}
+	return BackgroundConfig{FlowBytes: size, InterArrival: inter, Flows: 1500}, nil
+}
+
+// Background drives the background flows.
+type Background struct {
+	cfg     BackgroundConfig
+	nw      *network.Network
+	stacks  []*transport.Stack
+	started int
+	stopped bool
+}
+
+// NewBackground installs sink listeners on every stack.
+func NewBackground(nw *network.Network, stacks []*transport.Stack, cfg BackgroundConfig) (*Background, error) {
+	if len(stacks) < 2 {
+		return nil, fmt.Errorf("workload: need ≥ 2 hosts for background traffic")
+	}
+	for _, st := range stacks {
+		if err := st.Listen(BackgroundPort, func(sim.Time, *transport.Conn) {}); err != nil {
+			return nil, err
+		}
+	}
+	return &Background{cfg: cfg, nw: nw, stacks: stacks}, nil
+}
+
+// Start begins launching flows.
+func (b *Background) Start() { b.scheduleNext() }
+
+// Stop ceases new flows.
+func (b *Background) Stop() { b.stopped = true }
+
+// Started returns how many flows have been launched.
+func (b *Background) Started() int { return b.started }
+
+func (b *Background) scheduleNext() {
+	if b.stopped || b.started >= b.cfg.Flows {
+		return
+	}
+	rng := b.nw.Sim().Rand()
+	wait := time.Duration(b.cfg.InterArrival.Sample(rng) * float64(time.Second))
+	b.nw.Sim().After(wait, func(now sim.Time) {
+		if b.stopped {
+			return
+		}
+		b.launch()
+		b.scheduleNext()
+	})
+}
+
+func (b *Background) launch() {
+	rng := b.nw.Sim().Rand()
+	si := rng.Intn(len(b.stacks))
+	di := rng.Intn(len(b.stacks) - 1)
+	if di >= si {
+		di++
+	}
+	src, dst := b.stacks[si], b.stacks[di]
+	size := int(b.cfg.FlowBytes.Sample(rng))
+	if size < 1 {
+		size = 1
+	}
+	b.started++
+	conn, err := src.Dial(dst.Addr(), BackgroundPort)
+	if err != nil {
+		return
+	}
+	c := conn
+	conn.OnEstablished(func(sim.Time) { c.Send(size) })
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/ospf"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// rig builds a bootstrapped fat tree k=4 with stacks on every host.
+func rig(t *testing.T) (*sim.Simulator, *network.Network, []*transport.Stack) {
+	t.Helper()
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(21)
+	nw, err := network.New(s, tp, network.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ospf.NewDomain(nw, ospf.Config{}).Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	var stacks []*transport.Stack
+	for _, h := range tp.NodesOfKind(topo.Host) {
+		st, err := transport.NewStack(nw, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stacks = append(stacks, st)
+	}
+	return s, nw, stacks
+}
+
+func TestPartitionAggregateAllCompleteOnHealthyNetwork(t *testing.T) {
+	s, nw, stacks := rig(t)
+	cfg := DefaultPartitionAggregateConfig()
+	cfg.Requests = 50
+	cfg.MeanInterval = 10 * time.Millisecond
+	pa, err := NewPartitionAggregate(nw, stacks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.Start()
+	if err := s.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	results := pa.Results()
+	if len(results) != 50 {
+		t.Fatalf("issued %d requests, want 50", len(results))
+	}
+	for i, r := range results {
+		if !r.Completed() {
+			t.Fatalf("request %d incomplete (%d/%d responses)", i, r.Responses, cfg.Workers)
+		}
+		if r.CompletionTime() > 50*time.Millisecond {
+			t.Fatalf("request %d took %v on a healthy fabric", i, r.CompletionTime())
+		}
+	}
+	ratio, n := MissRatio(results, 250*time.Millisecond)
+	if ratio != 0 || n != 50 {
+		t.Fatalf("miss ratio = %v (n=%d), want 0", ratio, n)
+	}
+	times := CompletionTimes(results)
+	if len(times) != 50 {
+		t.Fatalf("completion times = %d", len(times))
+	}
+}
+
+func TestPartitionAggregateMissesUnderBlackhole(t *testing.T) {
+	s, nw, stacks := rig(t)
+	cfg := DefaultPartitionAggregateConfig()
+	cfg.Requests = 30
+	cfg.MeanInterval = 5 * time.Millisecond
+	pa, err := NewPartitionAggregate(nw, stacks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one host's access link permanently right away: requests using
+	// that host as client or worker will stall at least one RTO.
+	victim := stacks[3].Host()
+	link := nw.Topology().LinksOf(victim)[0]
+	nw.FailLink(link.ID)
+	pa.Start()
+	if err := s.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	ratio, _ := MissRatio(pa.Results(), 250*time.Millisecond)
+	if ratio == 0 {
+		t.Fatal("expected deadline misses with a dead host")
+	}
+}
+
+func TestMissRatioCountsIncompleteAsMiss(t *testing.T) {
+	mk := func(d time.Duration, done bool) *RequestResult {
+		r := &RequestResult{StartedAt: sim.Time(time.Second)}
+		if done {
+			r.CompletedAt = r.StartedAt.Add(d)
+		}
+		return r
+	}
+	results := []*RequestResult{
+		mk(100*time.Millisecond, true),
+		mk(300*time.Millisecond, true),
+		mk(0, false),
+		mk(250*time.Millisecond, true), // exactly the deadline: not a miss
+	}
+	ratio, n := MissRatio(results, 250*time.Millisecond)
+	if n != 4 {
+		t.Fatalf("n = %d", n)
+	}
+	if ratio != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", ratio)
+	}
+	if r, n := MissRatio(nil, time.Second); r != 0 || n != 0 {
+		t.Fatal("empty results should be (0,0)")
+	}
+	if got := len(CompletionTimes(results)); got != 3 {
+		t.Fatalf("completed = %d, want 3", got)
+	}
+}
+
+func TestPartitionAggregateNeedsEnoughHosts(t *testing.T) {
+	_, nw, stacks := rig(t)
+	cfg := DefaultPartitionAggregateConfig()
+	cfg.Workers = len(stacks) // needs Workers+1
+	if _, err := NewPartitionAggregate(nw, stacks, cfg); err == nil {
+		t.Fatal("insufficient hosts accepted")
+	}
+}
+
+func TestBackgroundFlowsDeliver(t *testing.T) {
+	s, nw, stacks := rig(t)
+	cfg, err := DefaultBackgroundConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Flows = 40
+	inter, err := sim.LogNormalFromMedianP95(0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InterArrival = inter
+	bg, err := NewBackground(nw, stacks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg.Start()
+	if err := s.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bg.Started() != 40 {
+		t.Fatalf("started %d flows, want 40", bg.Started())
+	}
+	st := nw.Stats()
+	if st.Delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	// Healthy fabric: negligible drops (slow-start overshoot on big flows
+	// can cost a few packets; that's realistic).
+	if st.TotalDrops() > st.Delivered/20 {
+		t.Fatalf("drops %d vs delivered %d", st.TotalDrops(), st.Delivered)
+	}
+}
+
+func TestBackgroundNeedsTwoHosts(t *testing.T) {
+	_, nw, stacks := rig(t)
+	cfg, err := DefaultBackgroundConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackground(nw, stacks[:1], cfg); err == nil {
+		t.Fatal("single host accepted")
+	}
+}
+
+func TestIncastFanInCompletes(t *testing.T) {
+	// Many workers answering one client at once (classic partition-
+	// aggregate incast): responses converge on the client's single access
+	// link; with 2 KB responses the burst fits the queue and completes
+	// quickly despite the fan-in.
+	s, nw, stacks := rig(t)
+	cfg := DefaultPartitionAggregateConfig()
+	cfg.Requests = 1
+	cfg.Workers = 8
+	cfg.MeanInterval = time.Millisecond
+	pa, err := NewPartitionAggregate(nw, stacks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.Start()
+	if err := s.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	results := pa.Results()
+	if len(results) != 1 || !results[0].Completed() {
+		t.Fatalf("incast request incomplete: %+v", results)
+	}
+	if results[0].CompletionTime() > 10*time.Millisecond {
+		t.Fatalf("incast completion = %v, want fast", results[0].CompletionTime())
+	}
+	if results[0].Responses != 8 {
+		t.Fatalf("responses = %d", results[0].Responses)
+	}
+}
+
+func TestPartitionAggregateStopCeasesRequests(t *testing.T) {
+	s, nw, stacks := rig(t)
+	cfg := DefaultPartitionAggregateConfig()
+	cfg.Requests = 1000
+	cfg.MeanInterval = 10 * time.Millisecond
+	pa, err := NewPartitionAggregate(nw, stacks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.Start()
+	s.At(100*sim.Millisecond, func(sim.Time) { pa.Stop() })
+	if err := s.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pa.Results()); got == 0 || got > 60 {
+		t.Fatalf("requests after stop = %d, want ≈ 10", got)
+	}
+}
+
+func TestDefaultConfigsSane(t *testing.T) {
+	pa := DefaultPartitionAggregateConfig()
+	if pa.Workers != 8 || pa.ResponseBytes != 2000 || pa.Requests != 3000 {
+		t.Fatalf("PA defaults: %+v", pa)
+	}
+	bg, err := DefaultBackgroundConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.Flows != 1500 {
+		t.Fatalf("BG defaults: %+v", bg)
+	}
+	if bg.FlowBytes.Median() < 1e3 || bg.FlowBytes.Median() > 1e6 {
+		t.Fatalf("flow size median = %v", bg.FlowBytes.Median())
+	}
+}
