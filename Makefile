@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test vet f2tree-vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The determinism gate: stock go vet plus the mapiter/simclock/lockcheck
+# analyzers from internal/analysis (see README "Determinism gate").
+f2tree-vet:
+	$(GO) run ./cmd/f2tree-vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build f2tree-vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestListExitsClean(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("run(-list) = %d, want 0", code)
+	}
+}
+
+func TestCleanPackagesPass(t *testing.T) {
+	args := []string{"-novet", "repro/internal/sim", "repro/internal/fib", "repro/internal/detsort"}
+	if code := run(args); code != 0 {
+		t.Errorf("run(%v) = %d, want 0", args, code)
+	}
+}
+
+func TestDetectsViolations(t *testing.T) {
+	// The analyzer fixtures double as end-to-end violation corpora: with
+	// -all the scope filter is lifted and each must fail the gate.
+	for _, dir := range []string{
+		"../../internal/analysis/testdata/src/mapiter",
+		"../../internal/analysis/testdata/src/simclock",
+		"../../internal/analysis/testdata/src/lockcheck",
+	} {
+		args := []string{"-novet", "-all", dir}
+		if code := run(args); code != 1 {
+			t.Errorf("run(%v) = %d, want 1", args, code)
+		}
+	}
+}
+
+func TestBadPatternFails(t *testing.T) {
+	if code := run([]string{"-novet", "repro/internal/nosuchpackage"}); code != 2 {
+		t.Errorf("run on missing package = %d, want 2", code)
+	}
+}

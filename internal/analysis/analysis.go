@@ -1,0 +1,134 @@
+// Package analysis is a small static-analysis framework plus the custom
+// analyzers that turn this repository's determinism invariants into
+// machine-checked law. It deliberately mirrors the golang.org/x/tools
+// go/analysis API (Analyzer, Pass, Diagnostic) so the analyzers can be
+// ported to the upstream multichecker verbatim if the dependency ever
+// becomes available; the module itself is dependency-free, so the framework
+// is built on the standard library only: packages are loaded with
+// `go list -export` and type-checked against compiler export data.
+//
+// Three analyzers are defined:
+//
+//   - mapiter:   flags `range` over a map in simulation/routing packages.
+//     Go randomizes map iteration per run, so any map range that feeds an
+//     order-sensitive sink (event scheduling, FIB install order, trace
+//     output) silently breaks bit-for-bit reproducibility. Iterate
+//     detsort.Keys/KeysFunc instead, or annotate the loop with
+//     `//f2tree:unordered <reason>` when its effect is provably
+//     order-insensitive.
+//
+//   - simclock:  forbids wall-clock reads (time.Now, time.Since, ...) and
+//     global math/rand state in simulation packages. All time must come
+//     from the virtual clock (sim.Simulator.Now) and all randomness from
+//     the seeded per-run RNG (sim.Simulator.Rand).
+//
+//   - lockcheck: flags mutable package-level state in simulation packages —
+//     anything written after initialization would race under a future
+//     parallel-replica runner. State belongs on the engine or instance;
+//     `//f2tree:sharedstate <reason>` is the audited escape hatch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// directivePrefix introduces all in-source analyzer directives.
+const directivePrefix = "f2tree:"
+
+// directiveLines collects, per line, the f2tree directives of a file
+// ("unordered", "sharedstate", ...) mapped from the line on which each
+// comment ends. A directive suppresses a finding on its own line or the
+// line immediately below, so both trailing comments and comments on the
+// preceding line work:
+//
+//	//f2tree:unordered set union; content is order-independent
+//	for k := range m { ... }
+func directiveLines(fset *token.FileSet, file *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			line := fset.Position(c.End()).Line
+			out[line] = strings.TrimPrefix(text, directivePrefix)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a directive with the given verb ("unordered",
+// "sharedstate") covers the node starting at pos.
+func suppressed(dirs map[int]string, fset *token.FileSet, pos token.Pos, verb string) bool {
+	line := fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		if d, ok := dirs[l]; ok {
+			if d == verb || strings.HasPrefix(d, verb+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootIdent walks an lvalue expression (x, x.f, x[i], *x, x.f[i].g, (x))
+// down to its root identifier, or nil if the expression is not rooted in
+// one (e.g. a function call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` statements over maps. Go's per-run randomization of
+// map iteration order is the single largest source of silent
+// nondeterminism in the simulator: a map range that feeds event scheduling,
+// FIB install order or trace output makes two runs with the same seed
+// diverge. The approved fixes are
+//
+//	for _, k := range detsort.Keys(m)      { ... } // ordered keys
+//	for _, k := range detsort.KeysFunc(m, less) { ... }
+//
+// or, when the loop's effect is genuinely independent of iteration order
+// (pure set union, commutative accumulation, per-key writes to disjoint
+// keys), an annotation on the loop or the line above it:
+//
+//	//f2tree:unordered <reason>
+//
+// The reason is part of the contract: it is what a reviewer audits.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags range over a map in simulation/routing packages; iteration order is randomized per run",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		dirs := directiveLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if suppressed(dirs, pass.Fset, rng.Pos(), "unordered") {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s iterates in randomized order; iterate detsort.Keys/KeysFunc, or annotate //f2tree:unordered <reason> if the body is order-insensitive",
+				typeLabel(rng.X, tv.Type))
+			return true
+		})
+	}
+	return nil
+}
+
+// typeLabel renders a short human label for the ranged expression: the
+// source expression when it is a simple identifier/selector, otherwise the
+// map type.
+func typeLabel(e ast.Expr, t types.Type) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := rootIdent(x); root != nil {
+			return root.Name + "." + x.Sel.Name
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestMapIter(t *testing.T) {
+	analyzertest.Run(t, analysis.MapIter, fixture("mapiter"))
+}

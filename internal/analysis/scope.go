@@ -1,0 +1,36 @@
+package analysis
+
+import "slices"
+
+// scopedPackages are the import paths whose code must uphold the
+// determinism invariants: the discrete-event engine, every routing/control
+// plane, the data plane, the failure injector, the topology model, and the
+// sorted-iteration helper package itself. The analyzers run only on these
+// (the driver applies the filter), so CLI front ends and report formatters
+// may use wall-clock time and unordered iteration freely.
+var scopedPackages = map[string]bool{
+	"repro/internal/sim":        true,
+	"repro/internal/ospf":       true,
+	"repro/internal/bgp":        true,
+	"repro/internal/controller": true,
+	"repro/internal/fib":        true,
+	"repro/internal/network":    true,
+	"repro/internal/failure":    true,
+	"repro/internal/topo":       true,
+	"repro/internal/detsort":    true,
+}
+
+// InScope reports whether the determinism analyzers apply to the package.
+func InScope(importPath string) bool { return scopedPackages[importPath] }
+
+// ScopedPackages returns the sorted list of in-scope import paths, for
+// diagnostics and the driver's -list output.
+func ScopedPackages() []string {
+	out := make([]string, 0, len(scopedPackages))
+	//f2tree:unordered keys are sorted below
+	for p := range scopedPackages {
+		out = append(out, p)
+	}
+	slices.Sort(out)
+	return out
+}

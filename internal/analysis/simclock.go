@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or depend on the
+// wall clock. Pure arithmetic on time.Duration and the duration constants
+// remain allowed — simulation code uses them heavily for virtual-time math.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do NOT
+// touch the global source and therefore stay legal: constructors for
+// explicitly seeded generators.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SimClock forbids wall-clock time and global math/rand state in
+// simulation packages. The simulator's contract is that two runs with the
+// same seed are byte-identical; time.Now and the process-global rand source
+// both break it invisibly. Virtual time comes from sim.Simulator.Now and
+// randomness from the seeded sim.Simulator.Rand. There is deliberately no
+// suppression directive: unlike map iteration, there is no order-
+// insensitive way to read the wall clock inside the engine.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc:  "forbids time.Now/time.Since and global math/rand state in simulation packages",
+	Run:  runSimClock,
+}
+
+func runSimClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; simulation code must use the virtual clock (sim.Simulator.Now/After)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true // types (rand.Rand) and constants are fine
+				}
+				if globalRandAllowed[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the process-global random source; simulation code must draw from the seeded per-run RNG (sim.Simulator.Rand)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

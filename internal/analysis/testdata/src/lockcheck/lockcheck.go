@@ -1,0 +1,50 @@
+// Package fixture exercises the lockcheck analyzer: package-level state
+// written after initialization is flagged; immutable package-level values
+// and annotated shared state are not.
+package fixture
+
+import "errors"
+
+var counter int // want `package-level variable counter is written after initialization`
+
+var cache = map[string]int{} // want `package-level variable cache is written after initialization`
+
+var registry []string // want `package-level variable registry is written after initialization`
+
+var config struct{ verbose bool } // want `package-level variable config is written after initialization`
+
+var taken int // want `package-level variable taken is written after initialization`
+
+//f2tree:sharedstate process-wide metrics sink, guarded by its own mutex
+var annotated = map[string]int{}
+
+// errSentinel is assigned once in its declaration and never written again:
+// concurrent reads are safe.
+var errSentinel = errors.New("fixture: boom")
+
+// lookupTable is populated in its declaration and only read afterwards.
+var lookupTable = map[string]int{"a": 1, "b": 2}
+
+type bumper struct{ n int }
+
+func (b *bumper) bump() { b.n++ }
+
+var pointy bumper // want `package-level variable pointy is written after initialization`
+
+func mutate() {
+	counter++
+	cache["k"] = 1
+	registry = append(registry, "x")
+	config.verbose = true
+	annotated["ok"] = 1
+	p := &taken
+	*p = 5
+	pointy.bump()
+}
+
+func read() (int, error) {
+	if lookupTable["a"] > 0 {
+		return counter, errSentinel
+	}
+	return 0, nil
+}

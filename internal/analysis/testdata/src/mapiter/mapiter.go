@@ -1,0 +1,50 @@
+// Package fixture exercises the mapiter analyzer: positive cases (bare map
+// ranges) and negative cases (slice ranges, annotated loops).
+package fixture
+
+import "sort"
+
+func positives(m map[int]string, nested map[string]map[int]bool) {
+	for k := range m { // want `range over map m iterates in randomized order`
+		_ = k
+	}
+	for k, v := range m { // want `range over map m iterates in randomized order`
+		_, _ = k, v
+	}
+	for k := range nested["x"] { // want `range over map`
+		_ = k
+	}
+}
+
+type holder struct {
+	set map[int]bool
+}
+
+func positiveField(h holder) {
+	for k := range h.set { // want `range over map h.set iterates in randomized order`
+		_ = k
+	}
+}
+
+func negatives(m map[int]string, s []int, ch chan int) {
+	keys := make([]int, 0, len(m))
+	//f2tree:unordered keys are collected then sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys { // slice range: fine
+		_ = m[k]
+	}
+	for i := range s { // slice range: fine
+		_ = i
+	}
+	for v := range ch { // channel range: fine
+		_ = v
+	}
+	for n := range m { //f2tree:unordered commutative count
+		_ = n
+	}
+	for i := 0; i < 3; i++ { // plain for: fine
+	}
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the simclock analyzer: wall-clock reads and
+// global math/rand state are flagged; virtual-time arithmetic and
+// explicitly seeded generators are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func positives() {
+	_ = time.Now()                  // want `time.Now reads the wall clock`
+	_ = time.Since(time.Time{})     // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond)    // want `time.Sleep reads the wall clock`
+	_ = time.Tick(time.Second)      // want `time.Tick reads the wall clock`
+	_ = rand.Intn(10)               // want `rand.Intn uses the process-global random source`
+	_ = rand.Float64()              // want `rand.Float64 uses the process-global random source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the process-global random source`
+	f := time.Now                   // want `time.Now reads the wall clock`
+	_ = f
+}
+
+func negatives(rng *rand.Rand) {
+	var d time.Duration = 3 * time.Millisecond // duration math: fine
+	_ = d.Seconds()
+	_ = time.Microsecond
+	_ = rng.Intn(10) // seeded generator: fine
+	r := rand.New(rand.NewSource(42))
+	_ = r.Float64()
+	var zero time.Time // the type itself: fine
+	_ = zero
+}

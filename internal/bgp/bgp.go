@@ -12,9 +12,9 @@ package bgp
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
+	"repro/internal/detsort"
 	"repro/internal/fib"
 	"repro/internal/netaddr"
 	"repro/internal/network"
@@ -181,12 +181,15 @@ func (i *Instance) UpdatesReceived() int { return i.updatesRx }
 // FIB — a network that finished initial convergence before the experiment.
 func (d *Domain) Bootstrap() error {
 	d.bootstrapping = true
-	for _, inst := range d.instances {
-		nd := d.topo.Node(inst.node)
+	// Sorted iteration: origination order decides the synchronous pump's
+	// message order, which decides the converged ribIn contents.
+	ids := detsort.Keys(d.instances)
+	for _, id := range ids {
+		nd := d.topo.Node(id)
 		if nd.Kind != topo.ToR || nd.Subnet.IsZero() {
 			continue
 		}
-		inst.originate(nd.Subnet)
+		d.instances[id].originate(nd.Subnet)
 	}
 	for len(d.bootQueue) > 0 {
 		m := d.bootQueue[0]
@@ -196,12 +199,14 @@ func (d *Domain) Bootstrap() error {
 		}
 	}
 	d.bootstrapping = false
-	for _, inst := range d.instances {
+	for _, id := range ids {
+		inst := d.instances[id]
 		if err := d.nw.Table(inst.node).ReplaceSource(fib.BGP, inst.routes()); err != nil {
 			return fmt.Errorf("bgp: bootstrap %s: %w", d.topo.Node(inst.node).Name, err)
 		}
 		inst.fibPending = false
 		inst.updatesRx = 0
+		//f2tree:unordered independent per-session reset
 		for _, s := range inst.sessions {
 			s.mraiUntil = 0 // bootstrap chatter does not count against MRAI
 		}
@@ -215,6 +220,7 @@ func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up b
 	if inst == nil {
 		return
 	}
+	//f2tree:unordered ports are unique per switch; at most one session matches
 	for _, s := range inst.sessions {
 		if s.port != port {
 			continue
@@ -225,6 +231,7 @@ func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up b
 		s.up = up
 		if up {
 			// Session re-established: advertise the full table.
+			//f2tree:unordered set fill; flush sorts before sending
 			for p := range inst.locRib {
 				s.pending[p] = true
 			}
@@ -234,7 +241,8 @@ func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up b
 		// Session down: everything learned over it is implicitly
 		// withdrawn.
 		var affected []netaddr.Prefix
-		for p, byLink := range inst.ribIn {
+		for _, p := range detsort.KeysFunc(inst.ribIn, prefixLess) {
+			byLink := inst.ribIn[p]
 			if _, ok := byLink[s.link]; ok {
 				delete(byLink, s.link)
 				affected = append(affected, p)
@@ -248,7 +256,10 @@ func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up b
 // originate injects a locally sourced prefix.
 func (i *Instance) originate(p netaddr.Prefix) {
 	i.locRib[p] = &best{originated: true, repr: nil, pathLen: 0}
-	for _, s := range i.sessions {
+	// Sorted sessions: kick order decides bootstrap pump order and, live,
+	// the event-queue tie-break sequence.
+	for _, l := range detsort.Keys(i.sessions) {
+		s := i.sessions[l]
 		s.pending[p] = true
 		i.kick(0, s)
 	}
@@ -314,7 +325,8 @@ func (i *Instance) reselect(now sim.Time, prefixes []netaddr.Prefix) {
 		} else {
 			i.locRib[p] = nb
 		}
-		for _, s := range i.sessions {
+		for _, l := range detsort.Keys(i.sessions) {
+			s := i.sessions[l]
 			s.pending[p] = true
 			i.kick(now, s)
 		}
@@ -333,12 +345,12 @@ func (i *Instance) selectBest(p netaddr.Prefix) *best {
 	}
 	links := make([]topo.LinkID, 0, len(byLink))
 	minLen := -1
-	for l, path := range byLink {
+	for _, l := range detsort.Keys(byLink) {
 		s := i.sessions[l]
 		if s == nil || !s.up {
 			continue
 		}
-		if minLen == -1 || len(path) < minLen {
+		if path := byLink[l]; minLen == -1 || len(path) < minLen {
 			minLen = len(path)
 		}
 		links = append(links, l)
@@ -346,7 +358,6 @@ func (i *Instance) selectBest(p netaddr.Prefix) *best {
 	if minLen == -1 {
 		return nil
 	}
-	sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
 	nb := &best{pathLen: minLen}
 	for _, l := range links {
 		path := byLink[l]
@@ -392,17 +403,7 @@ func (i *Instance) flush(now sim.Time, s *session) {
 		return
 	}
 	var upd update
-	prefixes := make([]netaddr.Prefix, 0, len(s.pending))
-	for p := range s.pending {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(a, b int) bool {
-		if prefixes[a].Addr() != prefixes[b].Addr() {
-			return prefixes[a].Addr() < prefixes[b].Addr()
-		}
-		return prefixes[a].Bits() < prefixes[b].Bits()
-	})
-	for _, p := range prefixes {
+	for _, p := range detsort.KeysFunc(s.pending, prefixLess) {
 		delete(s.pending, p)
 		b := i.locRib[p]
 		if b == nil {
@@ -444,22 +445,27 @@ func (i *Instance) scheduleFIB(now sim.Time) {
 // routes renders locRib as FIB routes (originated prefixes excluded: the
 // ToR reaches its own subnet via connected /32s).
 func (i *Instance) routes() []fib.Route {
-	prefixes := make([]netaddr.Prefix, 0, len(i.locRib))
-	for p, b := range i.locRib {
+	out := make([]fib.Route, 0, len(i.locRib))
+	for _, p := range detsort.KeysFunc(i.locRib, prefixLess) {
+		b := i.locRib[p]
 		if b.originated || len(b.hops) == 0 {
 			continue
 		}
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(a, b int) bool { return prefixes[a].Addr() < prefixes[b].Addr() })
-	out := make([]fib.Route, 0, len(prefixes))
-	for _, p := range prefixes {
-		b := i.locRib[p]
 		hops := make([]fib.NextHop, len(b.hops))
 		copy(hops, b.hops)
 		out = append(out, fib.Route{Prefix: p, Source: fib.BGP, NextHops: hops})
 	}
 	return out
+}
+
+// prefixLess totally orders prefixes by (address, length). Sorting by
+// address alone is not enough: a prefix and its covering prefix share the
+// masked address, and a tie there would reintroduce map-order dependence.
+func prefixLess(a, b netaddr.Prefix) bool {
+	if a.Addr() != b.Addr() {
+		return a.Addr() < b.Addr()
+	}
+	return a.Bits() < b.Bits()
 }
 
 func containsNode(path []topo.NodeID, n topo.NodeID) bool {

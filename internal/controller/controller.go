@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/detsort"
 	"repro/internal/fib"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -98,8 +99,9 @@ func (c *Controller) Recomputations() int { return c.recomputations }
 // Bootstrap computes and installs the initial global routes synchronously.
 func (c *Controller) Bootstrap() error {
 	routes := c.computeAll()
-	for node, rs := range routes {
-		if err := c.nw.Table(node).ReplaceSource(fib.OSPF, rs); err != nil {
+	// Sorted iteration keeps install order and any error deterministic.
+	for _, node := range detsort.Keys(routes) {
+		if err := c.nw.Table(node).ReplaceSource(fib.OSPF, routes[node]); err != nil {
 			return fmt.Errorf("controller: bootstrap %s: %w", c.topo.Node(node).Name, err)
 		}
 	}
@@ -139,9 +141,9 @@ func (c *Controller) scheduleRecompute() {
 		c.recomputations++
 		routes := c.computeAll()
 		c.sim.After(c.cfg.InstallDelay, func(sim.Time) {
-			for node, rs := range routes {
+			for _, node := range detsort.Keys(routes) {
 				// Install failures on a torn-down switch are tolerable.
-				_ = c.nw.Table(node).ReplaceSource(fib.OSPF, rs)
+				_ = c.nw.Table(node).ReplaceSource(fib.OSPF, routes[node])
 			}
 		})
 	})
@@ -167,6 +169,7 @@ func (c *Controller) computeAll() map[topo.NodeID][]fib.Route {
 		graph[l.A] = append(graph[l.A], edge{to: l.B, link: l.ID})
 		graph[l.B] = append(graph[l.B], edge{to: l.A, link: l.ID})
 	}
+	//f2tree:unordered per-key in-place sort; no cross-key effects
 	for n := range graph {
 		es := graph[n]
 		sort.Slice(es, func(i, j int) bool {
@@ -223,6 +226,7 @@ func (c *Controller) routesFrom(src topo.NodeID, graph map[topo.NodeID][]edge) [
 					}
 					set[fib.NextHop{Port: port, Via: c.topo.Node(e.to).Addr}] = true
 				} else {
+					//f2tree:unordered set union; content is order-independent
 					for h := range nh[u] {
 						set[h] = true
 					}
@@ -244,11 +248,7 @@ func (c *Controller) routesFrom(src topo.NodeID, graph map[topo.NodeID][]edge) [
 		if subnet.IsZero() {
 			continue
 		}
-		hops := make([]fib.NextHop, 0, len(set))
-		for h := range set {
-			hops = append(hops, h)
-		}
-		sort.Slice(hops, func(i, j int) bool { return hops[i].Port < hops[j].Port })
+		hops := detsort.KeysFunc(set, fib.HopLess)
 		routes = append(routes, fib.Route{Prefix: subnet, Source: fib.OSPF, NextHops: hops})
 	}
 	sort.Slice(routes, func(i, j int) bool { return routes[i].Prefix.Addr() < routes[j].Prefix.Addr() })

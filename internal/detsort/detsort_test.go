@@ -1,0 +1,46 @@
+package detsort
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	for run := 0; run < 10; run++ {
+		got := Keys(m)
+		if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if got := Keys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+func TestKeysDoesNotAliasMap(t *testing.T) {
+	m := map[int]bool{1: true, 2: true}
+	ks := Keys(m)
+	ks[0] = 99
+	if _, ok := m[99]; ok {
+		t.Fatal("mutating the returned slice affected the map")
+	}
+}
+
+type pair struct{ a, b int }
+
+func TestKeysFunc(t *testing.T) {
+	m := map[pair]int{{2, 1}: 0, {1, 2}: 0, {1, 1}: 0}
+	less := func(x, y pair) bool {
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	}
+	want := []pair{{1, 1}, {1, 2}, {2, 1}}
+	for run := 0; run < 10; run++ {
+		if got := KeysFunc(m, less); !reflect.DeepEqual(got, want) {
+			t.Fatalf("KeysFunc = %v, want %v", got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/detsort"
 	"repro/internal/netaddr"
 )
 
@@ -58,6 +59,17 @@ type NextHop struct {
 // String formats the next hop for diagnostics.
 func (n NextHop) String() string {
 	return fmt.Sprintf("via %v port %d", n.Via, n.Port)
+}
+
+// HopLess is the canonical next-hop order (port, then neighbor address).
+// Every ECMP set in the simulator is sorted with it so that route
+// installation is deterministic; it is the comparator to pass to
+// detsort.KeysFunc when extracting hops from a set.
+func HopLess(a, b NextHop) bool {
+	if a.Port != b.Port {
+		return a.Port < b.Port
+	}
+	return a.Via < b.Via
 }
 
 // Route is a prefix with its ECMP next-hop set, installed by a source.
@@ -107,6 +119,7 @@ func (e *entry) best() []NextHop {
 		bestSrc Source
 		hops    []NextHop
 	)
+	//f2tree:unordered minimum over source keys; commutative
 	for src, nh := range e.bySource {
 		if len(nh) == 0 {
 			continue
@@ -183,6 +196,7 @@ func (t *Table) Remove(p netaddr.Prefix, src Source) {
 // a fresh computation.
 func (t *Table) ReplaceSource(src Source, routes []Route) error {
 	for b := 0; b <= 32; b++ {
+		//f2tree:unordered per-entry delete and commutative count decrement
 		for addr, e := range t.byLen[b] {
 			if _, ok := e.bySource[src]; ok {
 				delete(e.bySource, src)
@@ -261,18 +275,9 @@ func (t *Table) Routes() []Route {
 		if len(m) == 0 {
 			continue
 		}
-		addrs := make([]netaddr.Addr, 0, len(m))
-		for a := range m {
-			addrs = append(addrs, a)
-		}
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-		for _, a := range addrs {
+		for _, a := range detsort.Keys(m) {
 			e := m[a]
-			srcs := make([]Source, 0, len(e.bySource))
-			for s := range e.bySource {
-				srcs = append(srcs, s)
-			}
-			sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+			srcs := detsort.Keys(e.bySource)
 			p, err := netaddr.PrefixFrom(a, b)
 			if err != nil {
 				continue

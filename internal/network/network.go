@@ -11,6 +11,7 @@ package network
 
 import (
 	"fmt"
+	"maps"
 	"time"
 
 	"repro/internal/fib"
@@ -282,10 +283,7 @@ func (n *Network) LinkStatsFor(id topo.LinkID, from topo.NodeID) LinkStats {
 // Stats returns a copy of the forwarding counters.
 func (n *Network) Stats() Stats {
 	cp := n.stats
-	cp.Drops = make(map[DropCause]uint64, len(n.stats.Drops))
-	for k, v := range n.stats.Drops {
-		cp.Drops[k] = v
-	}
+	cp.Drops = maps.Clone(n.stats.Drops)
 	return cp
 }
 

@@ -68,6 +68,7 @@ type Stats struct {
 // TotalDrops sums every drop cause.
 func (s Stats) TotalDrops() uint64 {
 	var n uint64
+	//f2tree:unordered commutative sum over drop counters
 	for _, v := range s.Drops {
 		n += v
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/detsort"
 	"repro/internal/fib"
 	"repro/internal/netaddr"
 	"repro/internal/network"
@@ -161,17 +162,21 @@ func (d *Domain) Config() Config { return d.cfg }
 // convergence before the experiment starts. Throttle state stays quiet, so
 // the first failure is handled with the initial SPF delay.
 func (d *Domain) Bootstrap() error {
-	for _, inst := range d.instances {
-		inst.originateLocked()
+	// Sorted iteration keeps install order and any error deterministic.
+	ids := detsort.Keys(d.instances)
+	for _, id := range ids {
+		d.instances[id].originateLocked()
 	}
 	// Copy every origin LSA into every LSDB.
-	for _, inst := range d.instances {
-		for _, src := range d.instances {
-			lsa := src.lsdb[src.node]
-			inst.lsdb[src.node] = lsa
+	for _, id := range ids {
+		inst := d.instances[id]
+		for _, srcID := range ids {
+			src := d.instances[srcID]
+			inst.lsdb[src.node] = src.lsdb[src.node]
 		}
 	}
-	for _, inst := range d.instances {
+	for _, id := range ids {
+		inst := d.instances[id]
 		routes := inst.computeRoutes()
 		if err := d.nw.Table(inst.node).ReplaceSource(fib.OSPF, routes); err != nil {
 			return fmt.Errorf("bootstrap %s: %w", d.topo.Node(inst.node).Name, err)

@@ -3,6 +3,7 @@ package ospf
 import (
 	"sort"
 
+	"repro/internal/detsort"
 	"repro/internal/fib"
 	"repro/internal/topo"
 )
@@ -32,14 +33,14 @@ func (i *Instance) computeRoutes() []fib.Route {
 		return false
 	}
 	graph := make(map[topo.NodeID][]edge, len(i.lsdb))
-	for origin, lsa := range i.lsdb {
-		for _, a := range lsa.Adjacencies {
+	for _, origin := range detsort.Keys(i.lsdb) {
+		for _, a := range i.lsdb[origin].Adjacencies {
 			if adjOK(origin, a.Neighbor, a.Link) {
 				graph[origin] = append(graph[origin], edge{to: a.Neighbor, link: a.Link})
 			}
 		}
 	}
-	for n := range graph {
+	for _, n := range detsort.Keys(graph) {
 		es := graph[n]
 		sort.Slice(es, func(x, y int) bool {
 			if es[x].to != es[y].to {
@@ -89,6 +90,7 @@ func (i *Instance) computeRoutes() []fib.Route {
 					}
 					set[fib.NextHop{Port: port, Via: i.d.topo.Node(e.to).Addr}] = true
 				} else {
+					//f2tree:unordered set union; content is order-independent
 					for hop := range nh[u] {
 						set[hop] = true
 					}
@@ -100,12 +102,7 @@ func (i *Instance) computeRoutes() []fib.Route {
 
 	// Emit one route per advertised prefix of every other reachable router.
 	var routes []fib.Route
-	origins := make([]topo.NodeID, 0, len(i.lsdb))
-	for o := range i.lsdb {
-		origins = append(origins, o)
-	}
-	sort.Slice(origins, func(a, b int) bool { return origins[a] < origins[b] })
-	for _, o := range origins {
+	for _, o := range detsort.Keys(i.lsdb) {
 		if o == i.node {
 			continue
 		}
@@ -114,11 +111,7 @@ func (i *Instance) computeRoutes() []fib.Route {
 		if len(set) == 0 || len(lsa.Prefixes) == 0 {
 			continue
 		}
-		hops := make([]fib.NextHop, 0, len(set))
-		for hop := range set {
-			hops = append(hops, hop)
-		}
-		sort.Slice(hops, func(a, b int) bool { return hops[a].Port < hops[b].Port })
+		hops := detsort.KeysFunc(set, fib.HopLess)
 		for _, p := range lsa.Prefixes {
 			routes = append(routes, fib.Route{Prefix: p, Source: fib.OSPF, NextHops: hops})
 		}

@@ -94,6 +94,7 @@ func (t *Topology) Analyze() Analysis {
 			}
 			frontier = next
 		}
+		//f2tree:unordered maximum over distances; commutative
 		for _, d := range dist {
 			if d > a.Diameter {
 				a.Diameter = d

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/detsort"
 	"repro/internal/netaddr"
 )
 
@@ -295,12 +296,7 @@ func (t *Topology) Neighbors(n NodeID) []NodeID {
 			seen[o] = true
 		}
 	}
-	out := make([]NodeID, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detsort.Keys(seen)
 }
 
 // LiveLinks returns every non-removed link.
