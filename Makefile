@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet f2tree-vet race check bench
+.PHONY: build test vet f2tree-vet race check bench bench-campaign
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,8 @@ check: build f2tree-vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Campaign orchestrator speedup: fig4 matrix serial vs parallel, emitting
+# BENCH_campaign.json. Fails if the two aggregates differ (determinism gate).
+bench-campaign:
+	$(GO) run ./cmd/f2tree-campaign -bench -j 4 -bench-out BENCH_campaign.json

@@ -1,0 +1,279 @@
+// Command f2tree-campaign runs batch experiment campaigns: it expands a
+// declarative run matrix (scheme × ports × failure condition × control
+// plane × seed replicate) into independent runs and executes them on a
+// worker pool with panic isolation, per-run timeouts, bounded retry and a
+// resumable JSONL result store (see internal/campaign and DESIGN.md §8).
+//
+// Usage:
+//
+//	f2tree-campaign [flags]
+//
+// Examples:
+//
+//	f2tree-campaign -preset fig4 -j 4 -out fig4.jsonl
+//	f2tree-campaign -kind recovery -schemes fattree,f2tree -conditions C1,C4 \
+//	    -reps 5 -j 8 -out sweep.jsonl -agg sweep-agg.jsonl
+//	f2tree-campaign -bench -j 4    # emits BENCH_campaign.json
+//
+// Re-invoking with the same -out resumes: runs whose spec hash already has
+// an ok record are skipped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/exp"
+	"repro/internal/failure"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "f2tree-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("f2tree-campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		preset     = fs.String("preset", "", "predefined matrix: fig4, fig6 or smoke (overrides matrix flags)")
+		kind       = fs.String("kind", "recovery", "experiment kind: recovery or pa")
+		schemes    = fs.String("schemes", "fattree,f2tree", "comma-separated schemes")
+		ports      = fs.String("ports", "8", "comma-separated switch port counts")
+		conditions = fs.String("conditions", "", "comma-separated Table IV conditions (default: all applicable)")
+		controls   = fs.String("controls", "ospf", "comma-separated control planes (recovery): ospf,bgp,centralized")
+		channels   = fs.String("channels", "1", "comma-separated concurrent-failure levels (pa)")
+		reps       = fs.Int("reps", 1, "seed replicates per matrix cell")
+		seed       = fs.Int64("seed", 42, "campaign base seed (per-run seeds derive from it)")
+		horizon    = fs.Duration("horizon", 0, "recovery run length override (0 = paper default 2s)")
+		paDuration = fs.Duration("pa-duration", 0, "pa workload window override (0 = paper default 600s)")
+		noBG       = fs.Bool("no-background", false, "pa: skip background traffic")
+
+		j       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers")
+		timeout = fs.Duration("timeout", 10*time.Minute, "real-time budget per run attempt (0 = none)")
+		retries = fs.Int("retries", 1, "extra attempts per run after the first")
+		out     = fs.String("out", "", "JSONL result store (enables resume)")
+		aggOut  = fs.String("agg", "", "write aggregated JSONL here (default: alongside -out as *.agg.jsonl)")
+		summary = fs.Bool("summary", true, "print the aggregate summary table")
+		quiet   = fs.Bool("q", false, "suppress the progress line")
+
+		bench    = fs.Bool("bench", false, "benchmark mode: fig4 matrix serial vs -j, emit a BENCH json")
+		benchOut = fs.String("bench-out", "BENCH_campaign.json", "benchmark output file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	opts := campaign.Options{Parallelism: *j, Timeout: *timeout, Retries: *retries}
+	if !*quiet {
+		opts.Progress = stderr
+	}
+
+	if *bench {
+		return runBench(stdout, *seed, *j, *benchOut, opts)
+	}
+
+	specs, err := expandFlags(*preset, *kind, *schemes, *ports, *conditions, *controls,
+		*channels, *reps, *seed, *horizon, *paDuration, *noBG)
+	if err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("empty matrix")
+	}
+
+	if *out != "" {
+		store, err := campaign.OpenStore(*out)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		opts.Store = store
+	}
+
+	res, err := campaign.Run(specs, campaign.ExperimentRunner(), opts)
+	if err != nil {
+		return err
+	}
+
+	aggs := campaign.AggregateResults(res.Results)
+	aggPath := *aggOut
+	if aggPath == "" && *out != "" {
+		aggPath = strings.TrimSuffix(*out, ".jsonl") + ".agg.jsonl"
+	}
+	if aggPath != "" {
+		f, err := os.Create(aggPath)
+		if err != nil {
+			return err
+		}
+		if err := campaign.WriteAggregateJSONL(f, aggs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *summary {
+		fmt.Fprint(stdout, campaign.SummaryTable(aggs))
+	}
+	fmt.Fprintf(stdout, "campaign: %d runs (%d skipped via resume), %d failed\n",
+		len(res.Results), res.Skipped, res.Failed)
+	if res.Failed > 0 {
+		return fmt.Errorf("%d run(s) failed — see the result store for errors", res.Failed)
+	}
+	return nil
+}
+
+// expandFlags builds the spec list from the preset or the matrix flags.
+func expandFlags(preset, kind, schemes, ports, conditions, controls, channels string,
+	reps int, seed int64, horizon, paDuration time.Duration, noBG bool) ([]campaign.Spec, error) {
+	switch preset {
+	case "fig4":
+		return campaign.Fig4Matrix(seed).Expand(), nil
+	case "fig6":
+		return campaign.Fig6Matrix(seed, int(paDuration/time.Millisecond), noBG).Expand(), nil
+	case "smoke":
+		// Fast CI matrix: the k=4 testbed pair, shortened horizon.
+		return campaign.Matrix{
+			Kind:       campaign.KindRecovery,
+			Schemes:    []exp.Scheme{exp.SchemeFatTree, exp.SchemeF2Proto},
+			Ports:      []int{4},
+			Conditions: []failure.Condition{failure.C1},
+			Reps:       2,
+			BaseSeed:   seed,
+			HorizonMS:  900,
+		}.Expand(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want fig4, fig6 or smoke)", preset)
+	}
+
+	m := campaign.Matrix{
+		Kind: campaign.Kind(kind), Reps: reps, BaseSeed: seed,
+		HorizonMS: int(horizon / time.Millisecond), DurationMS: int(paDuration / time.Millisecond),
+		NoBackground: noBG, SkipInapplicable: true,
+	}
+	for _, s := range splitCSV(schemes) {
+		m.Schemes = append(m.Schemes, exp.Scheme(s))
+	}
+	var err error
+	if m.Ports, err = parseInts(ports); err != nil {
+		return nil, fmt.Errorf("-ports: %w", err)
+	}
+	if conditions == "" {
+		m.Conditions = failure.AllConditions()
+	} else {
+		for _, label := range splitCSV(conditions) {
+			c, err := campaign.ParseCondition(label)
+			if err != nil {
+				return nil, err
+			}
+			m.Conditions = append(m.Conditions, c)
+		}
+	}
+	m.Controls = splitCSV(controls)
+	if m.Channels, err = parseInts(channels); err != nil {
+		return nil, fmt.Errorf("-channels: %w", err)
+	}
+	return m.Expand(), nil
+}
+
+// benchReport is the BENCH_campaign.json schema: wall-clock speedup of the
+// parallel pool over serial execution on the fig4 matrix.
+type benchReport struct {
+	Bench               string  `json:"bench"`
+	Runs                int     `json:"runs"`
+	J                   int     `json:"j"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	SerialSeconds       float64 `json:"serial_seconds"`
+	ParallelSeconds     float64 `json:"parallel_seconds"`
+	Speedup             float64 `json:"speedup"`
+	RunsPerSecSerial    float64 `json:"runs_per_sec_serial"`
+	RunsPerSecParallel  float64 `json:"runs_per_sec_parallel"`
+	AggregatesIdentical bool    `json:"aggregates_identical"`
+}
+
+func runBench(stdout io.Writer, seed int64, j int, outPath string, opts campaign.Options) error {
+	specs := campaign.Fig4Matrix(seed).Expand()
+	render := func(par int) (string, float64, error) {
+		o := opts
+		o.Parallelism = par
+		begin := time.Now()
+		res, err := campaign.Run(specs, campaign.ExperimentRunner(), o)
+		if err != nil {
+			return "", 0, err
+		}
+		if res.Failed > 0 {
+			return "", 0, fmt.Errorf("%d run(s) failed at j=%d", res.Failed, par)
+		}
+		var b strings.Builder
+		if err := campaign.WriteAggregateJSONL(&b, campaign.AggregateResults(res.Results)); err != nil {
+			return "", 0, err
+		}
+		return b.String(), time.Since(begin).Seconds(), nil
+	}
+	serialAgg, serialS, err := render(1)
+	if err != nil {
+		return err
+	}
+	parAgg, parS, err := render(j)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Bench: "campaign-fig4", Runs: len(specs), J: j, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SerialSeconds: serialS, ParallelSeconds: parS, Speedup: serialS / parS,
+		RunsPerSecSerial:    float64(len(specs)) / serialS,
+		RunsPerSecParallel:  float64(len(specs)) / parS,
+		AggregatesIdentical: serialAgg == parAgg,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bench: %d runs — serial %.1fs, j=%d %.1fs, speedup %.2fx (aggregates identical: %v) → %s\n",
+		rep.Runs, rep.SerialSeconds, rep.J, rep.ParallelSeconds, rep.Speedup, rep.AggregatesIdentical, outPath)
+	if !rep.AggregatesIdentical {
+		return fmt.Errorf("serial and parallel aggregates differ — determinism regression")
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitCSV(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, errw strings.Builder
+	for _, args := range [][]string{
+		{"-badflag"},
+		{"extra-arg"},
+		{"-preset", "nonsense"},
+		{"-kind", "nonsense"},
+		{"-conditions", "C99"},
+		{"-ports", "eight"},
+		{"-channels", "one"},
+	} {
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestExpandFlagsMatrix(t *testing.T) {
+	specs, err := expandFlags("", "recovery", "fattree,f2tree", "8", "C1,C4", "ospf", "1",
+		2, 42, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 schemes × 2 conditions × 2 reps.
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d, want 8", len(specs))
+	}
+	for _, preset := range []string{"fig4", "fig6", "smoke"} {
+		specs, err := expandFlags(preset, "", "", "", "", "", "", 0, 42, 0, 0, false)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if len(specs) == 0 {
+			t.Fatalf("%s: empty", preset)
+		}
+	}
+}
+
+func TestSmokeCampaignAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4 recovery runs")
+	}
+	dir := t.TempDir()
+	store := filepath.Join(dir, "smoke.jsonl")
+	var out, errw strings.Builder
+	args := []string{"-preset", "smoke", "-j", "2", "-q", "-out", store}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("smoke campaign: %v\nstdout: %s\nstderr: %s", err, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "campaign: 4 runs (0 skipped via resume), 0 failed") {
+		t.Fatalf("unexpected summary: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "recovery/fattree/C1") {
+		t.Fatalf("summary table missing cells: %s", out.String())
+	}
+
+	// The store has 4 JSONL records; the aggregate file exists alongside.
+	f, err := os.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if rec["status"] != "ok" {
+			t.Fatalf("run failed: %v", rec)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("store has %d records, want 4", lines)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "smoke.agg.jsonl")); err != nil {
+		t.Fatalf("aggregate file missing: %v", err)
+	}
+
+	// Re-invocation resumes: everything is skipped, nothing re-runs.
+	out.Reset()
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if !strings.Contains(out.String(), "(4 skipped via resume)") {
+		t.Fatalf("resume did not skip completed runs: %s", out.String())
+	}
+}

@@ -9,6 +9,7 @@ import "slices"
 // (the driver applies the filter), so CLI front ends and report formatters
 // may use wall-clock time and unordered iteration freely.
 var scopedPackages = map[string]bool{
+	"repro/internal/campaign":   true,
 	"repro/internal/sim":        true,
 	"repro/internal/ospf":       true,
 	"repro/internal/bgp":        true,

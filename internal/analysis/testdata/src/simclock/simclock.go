@@ -20,6 +20,23 @@ func positives() {
 	_ = f
 }
 
+// annotated exercises the //f2tree:wallclock allowance: it suppresses
+// wall-clock findings on its own line or the line below, and nothing else.
+func annotated() {
+	//f2tree:wallclock orchestration-layer timeout, outside any simulation
+	_ = time.Now()
+	t := time.Now() //f2tree:wallclock progress display
+	_ = t
+	//f2tree:wallclock per-run budget
+	_ = time.NewTimer(time.Second)
+	_ = time.Now() // want `time.Now reads the wall clock`
+	//f2tree:wallclock the directive covers only the next line
+	_ = struct{}{}
+	_ = time.Since(time.Time{}) // want `time.Since reads the wall clock`
+	//f2tree:wallclock does not cover global rand
+	_ = rand.Intn(3) // want `rand.Intn uses the process-global random source`
+}
+
 func negatives(rng *rand.Rand) {
 	var d time.Duration = 3 * time.Millisecond // duration math: fine
 	_ = d.Seconds()

@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/failure"
+)
+
+// testMatrix is a small but real recovery matrix: the k=4 testbed pair
+// under two conditions, two seed replicates each, with a shortened horizon
+// so the eight runs stay fast.
+func testMatrix(seed int64) Matrix {
+	return Matrix{
+		Kind:       KindRecovery,
+		Schemes:    []exp.Scheme{exp.SchemeFatTree, exp.SchemeF2Proto},
+		Ports:      []int{4},
+		Conditions: []failure.Condition{failure.C1},
+		Reps:       2,
+		BaseSeed:   seed,
+		HorizonMS:  900,
+	}
+}
+
+// TestCampaignByteIdenticalAcrossParallelism is the determinism
+// regression the subsystem exists to uphold: the same matrix aggregated
+// at -j 1 and -j 8 emits byte-identical JSONL, because seeds derive from
+// specs and aggregation is completion-order-independent.
+func TestCampaignByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 real recovery runs")
+	}
+	render := func(par int) string {
+		out, err := Run(testMatrix(42).Expand(), ExperimentRunner(), Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Failed != 0 {
+			for _, r := range out.Results {
+				if r.Status != StatusOK {
+					t.Fatalf("run %s failed: %s", r.Spec.Key(), r.Error)
+				}
+			}
+		}
+		var b strings.Builder
+		if err := WriteAggregateJSONL(&b, AggregateResults(out.Results)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	j1 := render(1)
+	j8 := render(8)
+	if j1 != j8 {
+		t.Fatalf("aggregated JSONL differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", j1, j8)
+	}
+	if !strings.Contains(j1, "connectivity_loss_ms") {
+		t.Fatalf("aggregate missing recovery metrics:\n%s", j1)
+	}
+}
+
+// TestParallelFig4MatchesSerial pins the -parallel rewiring: the
+// campaign-backed Fig 4 produces the same numbers as exp.RunFig4's serial
+// loop (identical derived seeds, identical runs).
+func TestParallelFig4MatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 recovery runs")
+	}
+	serial, err := exp.RunFig4(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFig4(42, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel Fig 4 diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Fig5String() != parallel.Fig5String() {
+		t.Fatal("parallel Fig 5 series diverge from serial")
+	}
+}

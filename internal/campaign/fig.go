@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/failure"
+)
+
+// Fig4Matrix is the Fig 4 emulation sweep (§IV-A) as a campaign matrix:
+// fat tree over its applicable conditions, F²Tree over all seven, 8-port,
+// OSPF. Expand yields the same runs exp.RunFig4 performs serially, with
+// identical derived seeds.
+func Fig4Matrix(seed int64) Matrix {
+	return Matrix{
+		Kind:             KindRecovery,
+		Schemes:          []exp.Scheme{exp.SchemeFatTree, exp.SchemeF2Tree},
+		Ports:            []int{8},
+		Conditions:       failure.AllConditions(),
+		BaseSeed:         seed,
+		SkipInapplicable: true,
+	}
+}
+
+// RunFig4 executes the Fig 4 sweep on the worker pool and assembles the
+// same result structure as the serial exp.RunFig4 — byte-identical output,
+// any parallelism.
+func RunFig4(seed int64, o Options) (*exp.Fig4Results, error) {
+	if o.Store != nil {
+		return nil, fmt.Errorf("campaign: RunFig4 needs in-memory payloads; run without a store")
+	}
+	out, err := Run(Fig4Matrix(seed).Expand(), ExperimentRunner(), o)
+	if err != nil {
+		return nil, err
+	}
+	res := &exp.Fig4Results{ByCondition: map[exp.Scheme]map[failure.Condition]*exp.RecoveryResult{
+		exp.SchemeFatTree: {},
+		exp.SchemeF2Tree:  {},
+	}}
+	for _, r := range out.Results {
+		if r.Status != StatusOK {
+			return nil, fmt.Errorf("campaign: %s %s: %s", r.Spec.Scheme, r.Spec.Condition, r.Error)
+		}
+		rec, ok := out.Payloads[r.Hash].(*exp.RecoveryResult)
+		if !ok {
+			return nil, fmt.Errorf("campaign: missing payload for %s", r.Spec.Key())
+		}
+		cond, err := ParseCondition(r.Spec.Condition)
+		if err != nil {
+			return nil, err
+		}
+		res.ByCondition[exp.Scheme(r.Spec.Scheme)][cond] = rec
+	}
+	return res, nil
+}
+
+// Fig6Matrix is the Fig 6 partition-aggregate comparison (§IV-B) as a
+// campaign matrix: both schemes at 1 and 5 concurrent failures.
+func Fig6Matrix(seed int64, durationMS int, noBackground bool) Matrix {
+	return Matrix{
+		Kind:         KindPA,
+		Schemes:      []exp.Scheme{exp.SchemeFatTree, exp.SchemeF2Tree},
+		Ports:        []int{8},
+		Channels:     []int{1, 5},
+		BaseSeed:     seed,
+		DurationMS:   durationMS,
+		NoBackground: noBackground,
+	}
+}
+
+// RunFig6 executes the Fig 6 comparison on the worker pool, assembling the
+// serial exp.RunFig6 result structure (runs ordered scheme-major then
+// channel, as the serial loop emits them).
+func RunFig6(seed int64, durationMS int, noBackground bool, o Options) (*exp.Fig6Results, error) {
+	if o.Store != nil {
+		return nil, fmt.Errorf("campaign: RunFig6 needs in-memory payloads; run without a store")
+	}
+	specs := Fig6Matrix(seed, durationMS, noBackground).Expand()
+	out, err := Run(specs, ExperimentRunner(), o)
+	if err != nil {
+		return nil, err
+	}
+	byHash := make(map[string]*exp.PAResult, len(specs))
+	for _, r := range out.Results {
+		if r.Status != StatusOK {
+			return nil, fmt.Errorf("campaign: %s CF=%d: %s", r.Spec.Scheme, r.Spec.Channels, r.Error)
+		}
+		pa, ok := out.Payloads[r.Hash].(*exp.PAResult)
+		if !ok {
+			return nil, fmt.Errorf("campaign: missing payload for %s", r.Spec.Key())
+		}
+		byHash[r.Hash] = pa
+	}
+	res := &exp.Fig6Results{}
+	for _, s := range specs { // expansion order = the serial loop's order
+		res.Runs = append(res.Runs, byHash[s.Hash()])
+	}
+	return res, nil
+}

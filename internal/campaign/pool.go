@@ -1,0 +1,258 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is one run's scalar outputs, keyed by stable metric names
+// (encoding/json writes map keys sorted, so records marshal
+// deterministically).
+type Metrics map[string]float64
+
+// RunFunc executes one spec. The payload is an optional rich result (e.g.
+// *exp.RecoveryResult) handed back in-memory to assemblers; only the flat
+// Metrics are persisted.
+type RunFunc func(Spec) (Metrics, any, error)
+
+// Result is one run's record — the JSONL store's line format.
+type Result struct {
+	Hash string `json:"hash"`
+	Spec Spec   `json:"spec"`
+	Seed int64  `json:"seed"`
+	// Status is "ok" or "failed".
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	// Panic carries the captured stack of the last panicking attempt.
+	Panic string `json:"panic,omitempty"`
+	// WallMS is the wall-clock cost of the recorded attempt. Informational
+	// only: it is excluded from aggregation so aggregates stay
+	// byte-identical across parallelism levels.
+	WallMS  float64 `json:"wall_ms"`
+	Metrics Metrics `json:"metrics,omitempty"`
+}
+
+// StatusOK/StatusFailed are the Result.Status values.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Options shapes a campaign execution.
+type Options struct {
+	// Parallelism is the worker count (0 = GOMAXPROCS).
+	Parallelism int
+	// Timeout is the real-time budget per attempt (0 = none). A timed-out
+	// attempt's goroutine cannot be preempted — the simulation runs
+	// synchronously — so it is abandoned: its eventual result is discarded
+	// and the spec is retried or reported failed.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after the first (panics and
+	// timeouts included). Total attempts = Retries + 1.
+	Retries int
+	// Store, when set, is consulted before running (completed specs are
+	// skipped) and receives every fresh result as it completes.
+	Store *Store
+	// Progress, when set, receives a one-line progress report as runs
+	// complete (carriage-return rewritten, newline-terminated at the end).
+	Progress io.Writer
+}
+
+// Outcome is a campaign's collected results.
+type Outcome struct {
+	// Results holds one record per spec — fresh and store-resumed alike —
+	// sorted by spec Key, so the slice is deterministic regardless of
+	// completion order.
+	Results []Result
+	// Payloads maps spec hash → the RunFunc payload, for runs executed in
+	// this invocation only (resumed runs have no payload).
+	Payloads map[string]any
+	// Skipped counts specs satisfied from the store.
+	Skipped int
+	// Failed counts specs whose final status is failed.
+	Failed int
+}
+
+// Run expands nothing and decides nothing: it executes exactly the given
+// specs on a worker pool and returns every result. Per-run failures
+// (errors, panics, timeouts) are recorded in the results, not returned;
+// the error covers infrastructure problems only (duplicate or invalid
+// specs, store I/O).
+func Run(specs []Spec, fn RunFunc, o Options) (*Outcome, error) {
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	seen := make(map[string]int, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		h := s.Hash()
+		if j, dup := seen[h]; dup {
+			return nil, fmt.Errorf("specs %d and %d are identical (%s)", j, i, s.Key())
+		}
+		seen[h] = i
+	}
+
+	out := &Outcome{Payloads: make(map[string]any)}
+	var todo []Spec
+	for _, s := range specs {
+		if o.Store != nil {
+			if cached, ok := o.Store.Completed(s.Hash()); ok {
+				out.Results = append(out.Results, cached)
+				out.Skipped++
+				continue
+			}
+		}
+		todo = append(todo, s)
+	}
+
+	var (
+		mu   sync.Mutex
+		done = out.Skipped
+	)
+	//f2tree:wallclock progress reporting is orchestration-layer real time
+	start := time.Now()
+	report := func() {
+		if o.Progress == nil {
+			return
+		}
+		//f2tree:wallclock progress reporting
+		elapsed := time.Since(start).Round(100 * time.Millisecond)
+		fmt.Fprintf(o.Progress, "\rcampaign: %d/%d done (%d skipped, %d failed) j=%d %v ",
+			done, len(specs), out.Skipped, out.Failed, workers, elapsed)
+	}
+	report()
+
+	jobs := make(chan Spec)
+	var storeErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				res := execute(spec, fn, o)
+				mu.Lock()
+				if res.Status == StatusFailed {
+					out.Failed++
+				} else if res.payload != nil {
+					out.Payloads[res.Hash] = res.payload
+				}
+				out.Results = append(out.Results, res.Result)
+				if o.Store != nil {
+					if err := o.Store.Append(res.Result); err != nil && storeErr == nil {
+						storeErr = err
+					}
+				}
+				done++
+				report()
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, s := range todo {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	if o.Progress != nil {
+		fmt.Fprintln(o.Progress)
+	}
+	if storeErr != nil {
+		return nil, fmt.Errorf("campaign: appending to store: %w", storeErr)
+	}
+
+	sort.Slice(out.Results, func(i, j int) bool {
+		return out.Results[i].Spec.Key() < out.Results[j].Spec.Key()
+	})
+	return out, nil
+}
+
+// executed pairs a result with its in-memory payload.
+type executed struct {
+	Result
+	payload any
+}
+
+// execute runs one spec through the attempt loop.
+func execute(spec Spec, fn RunFunc, o Options) executed {
+	res := executed{Result: Result{
+		Hash: spec.Hash(), Spec: spec, Seed: spec.Seed(), Status: StatusFailed,
+	}}
+	attempts := o.Retries + 1
+	for a := 1; a <= attempts; a++ {
+		res.Attempts = a
+		//f2tree:wallclock per-attempt cost measurement
+		begin := time.Now()
+		m, payload, err := attempt(spec, fn, o.Timeout)
+		//f2tree:wallclock per-attempt cost measurement
+		res.WallMS = float64(time.Since(begin)) / float64(time.Millisecond)
+		if err == nil {
+			res.Status = StatusOK
+			res.Error, res.Panic = "", ""
+			res.Metrics, res.payload = m, payload
+			return res
+		}
+		res.Error = err.Error()
+		var pe *panicError
+		if errors.As(err, &pe) {
+			res.Panic = pe.stack
+		} else {
+			res.Panic = ""
+		}
+	}
+	return res
+}
+
+// panicError wraps a recovered panic with its stack.
+type panicError struct {
+	value any
+	stack string
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// attempt executes fn(spec) once in its own goroutine, converting a panic
+// into *panicError and enforcing the wall-clock timeout. On timeout the
+// goroutine is abandoned (see Options.Timeout); its buffered channel send
+// keeps it from leaking forever.
+func attempt(spec Spec, fn RunFunc, timeout time.Duration) (m Metrics, payload any, err error) {
+	type outcome struct {
+		m       Metrics
+		payload any
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: &panicError{value: r, stack: string(debug.Stack())}}
+			}
+		}()
+		m, p, err := fn(spec)
+		ch <- outcome{m: m, payload: p, err: err}
+	}()
+	if timeout <= 0 {
+		o := <-ch
+		return o.m, o.payload, o.err
+	}
+	//f2tree:wallclock per-run timeout is orchestration-layer real time
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.m, o.payload, o.err
+	case <-timer.C:
+		return nil, nil, fmt.Errorf("timed out after %v (attempt abandoned)", timeout)
+	}
+}

@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingRunner returns a RunFunc that counts attempts per spec hash and
+// delegates to fn for the behavior of each attempt.
+func countingRunner(fn func(s Spec, attempt int) (Metrics, error)) (RunFunc, func(Spec) int) {
+	var mu sync.Mutex
+	counts := make(map[string]int)
+	run := func(s Spec) (Metrics, any, error) {
+		mu.Lock()
+		counts[s.Hash()]++
+		n := counts[s.Hash()]
+		mu.Unlock()
+		m, err := fn(s, n)
+		return m, nil, err
+	}
+	get := func(s Spec) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[s.Hash()]
+	}
+	return run, get
+}
+
+func okMetrics(s Spec) Metrics {
+	return Metrics{"value": float64(s.Rep)}
+}
+
+func TestRunPanicIsolated(t *testing.T) {
+	specs := []Spec{stubSpec(0), stubSpec(1), stubSpec(2)}
+	run, _ := countingRunner(func(s Spec, _ int) (Metrics, error) {
+		if s.Rep == 1 {
+			panic("deliberate test panic")
+		}
+		return okMetrics(s), nil
+	})
+	out, err := Run(specs, run, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 1 || len(out.Results) != 3 {
+		t.Fatalf("failed=%d results=%d, want 1/3", out.Failed, len(out.Results))
+	}
+	var panicked *Result
+	for i := range out.Results {
+		r := &out.Results[i]
+		if r.Spec.Rep == 1 {
+			panicked = r
+		} else if r.Status != StatusOK {
+			t.Fatalf("sibling run %d infected: %s", r.Spec.Rep, r.Error)
+		}
+	}
+	if panicked.Status != StatusFailed {
+		t.Fatal("panicking run not recorded as failed")
+	}
+	if !strings.Contains(panicked.Error, "deliberate test panic") {
+		t.Fatalf("error %q does not carry the panic value", panicked.Error)
+	}
+	if !strings.Contains(panicked.Panic, "pool_test.go") {
+		t.Fatalf("captured stack does not reference the panic site:\n%s", panicked.Panic)
+	}
+}
+
+func TestRunTimeoutRetriesThenSucceeds(t *testing.T) {
+	spec := stubSpec(0)
+	run, attempts := countingRunner(func(s Spec, attempt int) (Metrics, error) {
+		if attempt == 1 {
+			time.Sleep(2 * time.Second) // exceeds the budget; abandoned
+		}
+		return okMetrics(s), nil
+	})
+	out, err := Run([]Spec{spec}, run, Options{Parallelism: 1, Timeout: 50 * time.Millisecond, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Results[0]
+	if r.Status != StatusOK {
+		t.Fatalf("status %s after retry, error %q", r.Status, r.Error)
+	}
+	if r.Attempts != 2 || attempts(spec) != 2 {
+		t.Fatalf("attempts = %d (runner saw %d), want 2", r.Attempts, attempts(spec))
+	}
+}
+
+func TestRunTimeoutExhaustsRetries(t *testing.T) {
+	run, attempts := countingRunner(func(s Spec, _ int) (Metrics, error) {
+		time.Sleep(2 * time.Second)
+		return okMetrics(s), nil
+	})
+	spec := stubSpec(0)
+	out, err := Run([]Spec{spec}, run, Options{Parallelism: 1, Timeout: 30 * time.Millisecond, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Results[0]
+	if r.Status != StatusFailed || !strings.Contains(r.Error, "timed out") {
+		t.Fatalf("status=%s error=%q, want timeout failure", r.Status, r.Error)
+	}
+	if r.Attempts != 3 || attempts(spec) != 3 {
+		t.Fatalf("attempts = %d, want 3", r.Attempts)
+	}
+}
+
+func TestRunRejectsDuplicateAndInvalidSpecs(t *testing.T) {
+	run, _ := countingRunner(func(s Spec, _ int) (Metrics, error) { return okMetrics(s), nil })
+	if _, err := Run([]Spec{stubSpec(0), stubSpec(0)}, run, Options{}); err == nil {
+		t.Fatal("duplicate specs accepted")
+	}
+	if _, err := Run([]Spec{{Kind: "nope"}}, run, Options{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestRunResumeSkipsCompleted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+	specs := []Spec{stubSpec(0), stubSpec(1), stubSpec(2)}
+
+	// First invocation completes only the first two specs — an
+	// interrupted campaign that never reached rep 2.
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1, _ := countingRunner(func(s Spec, _ int) (Metrics, error) {
+		return okMetrics(s), nil
+	})
+	out1, err := Run(specs[:2], run1, Options{Parallelism: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Failed != 0 || out1.Skipped != 0 {
+		t.Fatalf("first run failed=%d skipped=%d", out1.Failed, out1.Skipped)
+	}
+	st.Close()
+
+	// Simulate a kill mid-append: a torn trailing line must be ignored.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"hash":"deadbeef","spec":{"kind":"recove`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Second invocation over the full matrix: only rep 2 runs.
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("store recovered %d completed runs, want 2", st2.Len())
+	}
+	run2, counts2 := countingRunner(func(s Spec, _ int) (Metrics, error) {
+		return okMetrics(s), nil
+	})
+	out2, err := Run(specs, run2, Options{Parallelism: 2, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Skipped != 2 || out2.Failed != 0 || len(out2.Results) != 3 {
+		t.Fatalf("resume skipped=%d failed=%d results=%d, want 2/0/3",
+			out2.Skipped, out2.Failed, len(out2.Results))
+	}
+	for _, s := range specs[:2] {
+		if counts2(s) != 0 {
+			t.Fatalf("completed spec rep %d re-ran", s.Rep)
+		}
+	}
+	if counts2(specs[2]) != 1 {
+		t.Fatalf("missing spec ran %d times, want 1", counts2(specs[2]))
+	}
+}
+
+func TestRunResumeRetriesFailures(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+	spec := stubSpec(0)
+
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1, _ := countingRunner(func(s Spec, _ int) (Metrics, error) {
+		panic("always fails")
+	})
+	if _, err := Run([]Spec{spec}, run1, Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	run2, counts := countingRunner(func(s Spec, _ int) (Metrics, error) {
+		return okMetrics(s), nil
+	})
+	out, err := Run([]Spec{spec}, run2, Options{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped != 0 || counts(spec) != 1 {
+		t.Fatal("failed record satisfied a resume; failures must re-run")
+	}
+	if out.Results[0].Status != StatusOK {
+		t.Fatal("retried run not ok")
+	}
+}
+
+func TestRunProgressLine(t *testing.T) {
+	var buf strings.Builder
+	run, _ := countingRunner(func(s Spec, _ int) (Metrics, error) { return okMetrics(s), nil })
+	if _, err := Run([]Spec{stubSpec(0), stubSpec(1)}, run, Options{Parallelism: 2, Progress: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "campaign: 2/2 done") {
+		t.Fatalf("progress output missing final count: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("progress not newline-terminated")
+	}
+}
+
+func TestRunPoolDeterministicAcrossParallelism(t *testing.T) {
+	// Pure pool-level check with a stub runner: results and aggregates are
+	// identical at j=1 and j=8 (the real-experiment variant lives in
+	// determinism_test.go).
+	var specs []Spec
+	for rep := 0; rep < 16; rep++ {
+		specs = append(specs, stubSpec(rep))
+	}
+	run := func(s Spec) (Metrics, any, error) {
+		return Metrics{"seed": float64(s.Seed() % 1000), "rep": float64(s.Rep)}, nil, nil
+	}
+	render := func(par int) string {
+		out, err := Run(specs, run, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteAggregateJSONL(&b, AggregateResults(out.Results)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("aggregated JSONL differs between j=1 and j=8")
+	}
+}

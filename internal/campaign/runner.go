@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// ExperimentRunner returns the RunFunc that executes real experiment specs
+// through internal/exp: KindRecovery via exp.RunRecovery, KindPA via
+// exp.RunPartitionAggregate. The payload is the full experiment result
+// (*exp.RecoveryResult / *exp.PAResult) for in-process assemblers; the
+// metrics are the flat scalars the JSONL store persists.
+func ExperimentRunner() RunFunc {
+	return func(s Spec) (Metrics, any, error) {
+		switch s.Kind {
+		case KindRecovery:
+			return runRecoverySpec(s)
+		case KindPA:
+			return runPASpec(s)
+		default:
+			return nil, nil, fmt.Errorf("campaign: unknown kind %q", s.Kind)
+		}
+	}
+}
+
+// recoveryOptions translates a recovery spec into exp options, with the
+// seed derived from the spec.
+func recoveryOptions(s Spec) (exp.RecoveryOptions, error) {
+	cond, err := ParseCondition(s.Condition)
+	if err != nil {
+		return exp.RecoveryOptions{}, err
+	}
+	o := exp.RecoveryOptions{
+		Scheme: exp.Scheme(s.Scheme), Ports: s.Ports, Condition: cond,
+		Seed: s.Seed(),
+	}
+	switch s.control() {
+	case exp.ControlBGP:
+		o.BGP = true
+	case exp.ControlCentralized:
+		o.Centralized = true
+	}
+	if s.HorizonMS > 0 {
+		o.Horizon = sim.Time(s.HorizonMS) * sim.Millisecond
+		// Keep the injection inside short debug horizons.
+		if o.Horizon < 2*380*sim.Millisecond {
+			o.FailAt = o.Horizon / 2
+		}
+	}
+	return o, nil
+}
+
+func runRecoverySpec(s Spec) (Metrics, any, error) {
+	o, err := recoveryOptions(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := exp.RunRecovery(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	horizon := 2 * sim.Second
+	if s.HorizonMS > 0 {
+		horizon = sim.Time(s.HorizonMS) * sim.Millisecond
+	}
+	delivered := float64(res.PacketsSent - res.PacketsLost)
+	m := Metrics{
+		"connectivity_loss_ms": float64(res.ConnectivityLoss) / float64(time.Millisecond),
+		"packets_sent":         float64(res.PacketsSent),
+		"packets_lost":         float64(res.PacketsLost),
+		"collapse_ms":          float64(res.CollapseDuration) / float64(time.Millisecond),
+		"tcp_timeouts":         float64(res.TCPTimeouts),
+		// Goodput of the paced UDP flow (1448 B segments, Fig 2's shape).
+		"goodput_mbps": delivered * 1448 * 8 / horizon.Seconds() / 1e6,
+	}
+	return m, res, nil
+}
+
+func runPASpec(s Spec) (Metrics, any, error) {
+	o := exp.PAOptions{
+		Scheme: exp.Scheme(s.Scheme), Ports: s.Ports, Channels: s.Channels,
+		Seed: s.Seed(), DisableBackground: s.NoBackground,
+	}
+	if s.DurationMS > 0 {
+		o.Duration = sim.Time(s.DurationMS) * sim.Millisecond
+	}
+	res, err := exp.RunPartitionAggregate(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := Metrics{
+		"requests":     float64(res.Requests),
+		"completed":    float64(res.Completed),
+		"miss_ratio":   res.MissRatio,
+		"failures":     float64(res.Failures),
+		"max_spf_wait_ms": float64(res.MaxSPFWait) / float64(time.Millisecond),
+	}
+	if res.CompletionS.Len() > 0 {
+		if p50, err := res.CompletionS.Quantile(0.50); err == nil {
+			m["completion_p50_s"] = p50
+		}
+		if p99, err := res.CompletionS.Quantile(0.99); err == nil {
+			m["completion_p99_s"] = p99
+		}
+	}
+	return m, res, nil
+}

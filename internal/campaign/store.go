@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the campaign's resumable result cache: an append-only JSONL
+// file with one Result per line, keyed by spec hash. Opening an existing
+// file loads its records, so a re-invoked campaign skips every spec whose
+// last record is ok and re-runs the rest; a half-written trailing line
+// (the campaign was killed mid-append) is ignored.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Result // hash → latest ok record
+}
+
+// OpenStore opens (or creates) the JSONL store at path and indexes its
+// completed runs.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening store: %w", err)
+	}
+	s := &Store{f: f, done: make(map[string]Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn tail line from an interrupted append
+		}
+		// Only ok records are indexed: a failed record never satisfies a
+		// resume (the spec re-runs), and a later failure does not
+		// invalidate an earlier success for the same hash.
+		if r.Status == StatusOK && r.Hash != "" {
+			s.done[r.Hash] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: reading store: %w", err)
+	}
+	return s, nil
+}
+
+// Completed returns the stored ok record for the spec hash, if any.
+// Failed records are deliberately not returned: resuming retries them.
+func (s *Store) Completed(hash string) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.done[hash]
+	return r, ok
+}
+
+// Len reports the number of completed runs in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Append writes one result as a JSONL line and syncs it to disk, so a
+// killed campaign loses at most the in-flight runs.
+func (s *Store) Append(r Result) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	if r.Status == StatusOK {
+		s.done[r.Hash] = r
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -58,13 +58,15 @@ type TestbedResults struct {
 // 380 ms.
 func RunFig2Table3(seed int64) (*TestbedResults, error) {
 	ft, err := RunRecovery(RecoveryOptions{
-		Scheme: SchemeFatTree, Ports: 4, Condition: failure.C1, Seed: seed,
+		Scheme: SchemeFatTree, Ports: 4, Condition: failure.C1,
+		Seed: RecoverySeed(seed, SchemeFatTree, 4, failure.C1, ControlOSPF, 0),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fattree: %w", err)
 	}
 	f2, err := RunRecovery(RecoveryOptions{
-		Scheme: SchemeF2Proto, Ports: 4, Condition: failure.C1, Seed: seed,
+		Scheme: SchemeF2Proto, Ports: 4, Condition: failure.C1,
+		Seed: RecoverySeed(seed, SchemeF2Proto, 4, failure.C1, ControlOSPF, 0),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("f2tree-proto: %w", err)
@@ -136,7 +138,8 @@ func RunFig4(seed int64) (*Fig4Results, error) {
 	for _, cond := range failure.AllConditions() {
 		if cond.FatTreeApplicable() {
 			res, err := RunRecovery(RecoveryOptions{
-				Scheme: SchemeFatTree, Ports: 8, Condition: cond, Seed: seed,
+				Scheme: SchemeFatTree, Ports: 8, Condition: cond,
+				Seed: RecoverySeed(seed, SchemeFatTree, 8, cond, ControlOSPF, 0),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fattree %v: %w", cond, err)
@@ -144,7 +147,8 @@ func RunFig4(seed int64) (*Fig4Results, error) {
 			out.ByCondition[SchemeFatTree][cond] = res
 		}
 		res, err := RunRecovery(RecoveryOptions{
-			Scheme: SchemeF2Tree, Ports: 8, Condition: cond, Seed: seed,
+			Scheme: SchemeF2Tree, Ports: 8, Condition: cond,
+			Seed: RecoverySeed(seed, SchemeF2Tree, 8, cond, ControlOSPF, 0),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("f2tree %v: %w", cond, err)
@@ -260,7 +264,7 @@ func RunFig6(seed int64, opts PAOptions) (*Fig6Results, error) {
 			o.Scheme = scheme
 			o.Ports = 8
 			o.Channels = ch
-			o.Seed = seed
+			o.Seed = PASeed(seed, scheme, 8, ch, 0)
 			res, err := RunPartitionAggregate(o)
 			if err != nil {
 				return nil, fmt.Errorf("%s CF=%d: %w", scheme, ch, err)
@@ -330,11 +334,13 @@ func RunFig7(seed int64) (*Fig7Results, error) {
 		{"vl2", SchemeVL2, SchemeF2VL2},
 	}
 	for _, p := range pairs {
-		base, err := RunRecovery(RecoveryOptions{Scheme: p.base, Ports: 8, Condition: failure.C1, Seed: seed})
+		base, err := RunRecovery(RecoveryOptions{Scheme: p.base, Ports: 8, Condition: failure.C1,
+			Seed: RecoverySeed(seed, p.base, 8, failure.C1, ControlOSPF, 0)})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.base, err)
 		}
-		f2, err := RunRecovery(RecoveryOptions{Scheme: p.f2, Ports: 8, Condition: failure.C1, Seed: seed})
+		f2, err := RunRecovery(RecoveryOptions{Scheme: p.f2, Ports: 8, Condition: failure.C1,
+			Seed: RecoverySeed(seed, p.f2, 8, failure.C1, ControlOSPF, 0)})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.f2, err)
 		}

@@ -30,7 +30,8 @@ func RunProtocols(seed int64) (*ProtocolResults, error) {
 	for _, p := range protos {
 		out.Loss[p.name] = map[Scheme]*RecoveryResult{}
 		for _, scheme := range []Scheme{SchemeFatTree, SchemeF2Tree} {
-			o := RecoveryOptions{Scheme: scheme, Ports: 8, Condition: failure.C1, Seed: seed}
+			o := RecoveryOptions{Scheme: scheme, Ports: 8, Condition: failure.C1,
+				Seed: RecoverySeed(seed, scheme, 8, failure.C1, p.name, 0)}
 			p.set(&o)
 			res, err := RunRecovery(o)
 			if err != nil {

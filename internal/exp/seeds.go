@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strconv"
+
+	"repro/internal/failure"
+	"repro/internal/sim"
+)
+
+// Control-plane names shared by the seed-derivation convention, the
+// campaign spec schema and the CLIs. ControlName maps RecoveryOptions
+// flags back onto them.
+const (
+	ControlOSPF        = "ospf"
+	ControlBGP         = "bgp"
+	ControlCentralized = "centralized"
+)
+
+// ControlName returns the control-plane label the options select.
+func (o RecoveryOptions) ControlName() string {
+	switch {
+	case o.Centralized:
+		return ControlCentralized
+	case o.BGP:
+		return ControlBGP
+	default:
+		return ControlOSPF
+	}
+}
+
+// RecoverySeed derives the RNG seed of one recovery run inside a multi-run
+// experiment or campaign from the campaign base seed and the run's
+// coordinates. Every multi-run driver (RunFig4, RunFig7, campaigns) seeds
+// sub-runs through this single convention, so a run's result is a pure
+// function of its spec — independent of sweep order, worker scheduling and
+// whichever sibling runs surround it.
+func RecoverySeed(base int64, s Scheme, ports int, c failure.Condition, control string, rep int) int64 {
+	return sim.DeriveSeed(base, "recovery", string(s), strconv.Itoa(ports),
+		c.String(), control, strconv.Itoa(rep))
+}
+
+// PASeed is RecoverySeed's counterpart for partition-aggregate runs
+// (scheme × concurrent-failure channels × replicate).
+func PASeed(base int64, s Scheme, ports, channels, rep int) int64 {
+	return sim.DeriveSeed(base, "pa", string(s), strconv.Itoa(ports),
+		strconv.Itoa(channels), strconv.Itoa(rep))
+}

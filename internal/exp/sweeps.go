@@ -8,6 +8,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/network"
 	"repro/internal/ospf"
+	"repro/internal/sim"
 )
 
 // SweepPoint is one (parameter, fat tree, F²Tree) measurement.
@@ -27,16 +28,20 @@ type SweepResults struct {
 // F²Tree's recovery tracks it one-for-one; fat tree's stays SPF-bound.
 func RunDetectionSweep(seed int64) (*SweepResults, error) {
 	out := &SweepResults{Name: "failure-detection delay"}
+	// The per-scheme seed is derived once and held constant across the
+	// swept parameter, so each curve isolates the parameter's effect.
+	fatSeed := sim.DeriveSeed(seed, "sweep-detection", string(SchemeFatTree))
+	f2Seed := sim.DeriveSeed(seed, "sweep-detection", string(SchemeF2Tree))
 	for _, d := range []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 60 * time.Millisecond, 100 * time.Millisecond} {
 		fat, err := RunRecovery(RecoveryOptions{
-			Scheme: SchemeFatTree, Ports: 8, Condition: failure.C1, Seed: seed,
+			Scheme: SchemeFatTree, Ports: 8, Condition: failure.C1, Seed: fatSeed,
 			Net: network.Config{DetectionDelay: d},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fat %v: %w", d, err)
 		}
 		f2, err := RunRecovery(RecoveryOptions{
-			Scheme: SchemeF2Tree, Ports: 8, Condition: failure.C1, Seed: seed,
+			Scheme: SchemeF2Tree, Ports: 8, Condition: failure.C1, Seed: f2Seed,
 			Net: network.Config{DetectionDelay: d},
 		})
 		if err != nil {
@@ -51,16 +56,18 @@ func RunDetectionSweep(seed int64) (*SweepResults, error) {
 // table size in big fabrics. F²Tree never touches the FIB on failure.
 func RunFIBSweep(seed int64) (*SweepResults, error) {
 	out := &SweepResults{Name: "FIB update delay"}
+	fatSeed := sim.DeriveSeed(seed, "sweep-fib", string(SchemeFatTree))
+	f2Seed := sim.DeriveSeed(seed, "sweep-fib", string(SchemeF2Tree))
 	for _, d := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
 		cfg := ospf.Config{FIBUpdateDelay: d}
 		fat, err := RunRecovery(RecoveryOptions{
-			Scheme: SchemeFatTree, Ports: 8, Condition: failure.C1, Seed: seed, OSPF: cfg,
+			Scheme: SchemeFatTree, Ports: 8, Condition: failure.C1, Seed: fatSeed, OSPF: cfg,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fat %v: %w", d, err)
 		}
 		f2, err := RunRecovery(RecoveryOptions{
-			Scheme: SchemeF2Tree, Ports: 8, Condition: failure.C1, Seed: seed, OSPF: cfg,
+			Scheme: SchemeF2Tree, Ports: 8, Condition: failure.C1, Seed: f2Seed, OSPF: cfg,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("f2 %v: %w", d, err)

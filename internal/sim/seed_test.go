@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "recovery", "f2tree", "C1")
+	b := DeriveSeed(42, "recovery", "f2tree", "C1")
+	if a != b {
+		t.Fatalf("same inputs gave %d and %d", a, b)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[int64][]string)
+	base := []int64{0, 1, 42, -7}
+	partSets := [][]string{
+		{},
+		{"recovery"},
+		{"recovery", "f2tree"},
+		{"recovery", "f2tree", "C1"},
+		{"recovery", "f2tree", "C2"},
+		{"recovery", "fattree", "C1"},
+		{"pa", "f2tree", "C1"},
+		{"recovery", "f2treeC1"}, // boundary shift must not collide
+		{"rec", "overy", "f2tree", "C1"},
+	}
+	for _, b := range base {
+		for _, ps := range partSets {
+			s := DeriveSeed(b, ps...)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("collision: base=%d parts=%v and %v both give %d", b, ps, prev, s)
+			}
+			seen[s] = append([]string{}, ps...)
+		}
+	}
+}
+
+func TestDeriveSeedPartBoundaries(t *testing.T) {
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Fatal("part boundaries are not mixed in")
+	}
+	if DeriveSeed(1) == DeriveSeed(1, "") {
+		t.Fatal("empty part indistinguishable from no parts")
+	}
+}
