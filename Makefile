@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet f2tree-vet race check bench bench-campaign
+.PHONY: build test vet f2tree-vet race check bench bench-campaign bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Campaign orchestrator speedup: fig4 matrix serial vs parallel, emitting
-# BENCH_campaign.json. Fails if the two aggregates differ (determinism gate).
+# BENCH_campaign.json. Fails if the two aggregates differ (determinism gate)
+# or if the host cannot actually run the arms in parallel (override with
+# `f2tree-campaign -bench-allow-serial` to record a flagged serial run).
 bench-campaign:
 	$(GO) run ./cmd/f2tree-campaign -bench -j 4 -bench-out BENCH_campaign.json
+
+# Hot-path microbenchmarks (event scheduling, packet forwarding, FIB lookup,
+# fig4 end-to-end), emitting BENCH_hotpath.json and enforcing the committed
+# allocs/op budgets. See DESIGN.md §9.
+bench-hotpath:
+	$(GO) run ./cmd/f2tree-bench -check -out BENCH_hotpath.json

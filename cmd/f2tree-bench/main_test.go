@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEmitsValidReport exercises the full tool (minus the multi-second
+// fig4 run) with a tiny benchtime and checks the emitted JSON is complete
+// and the budget gate passes on the current code.
+func TestRunEmitsValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-out", out, "-benchtime", "10ms", "-fig4=false", "-check"},
+		&stdout, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Bench != "hotpath" {
+		t.Errorf("bench = %q, want hotpath", rep.Bench)
+	}
+	for _, b := range hotpathBenchmarks() {
+		cur, ok := rep.Current.Benchmarks[b.name]
+		if !ok {
+			t.Fatalf("missing current benchmark %q", b.name)
+		}
+		if cur.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v, want > 0", b.name, cur.NsPerOp)
+		}
+		if _, ok := rep.BudgetsAllocsPerOp[b.name]; !ok {
+			t.Errorf("%s: no committed allocs/op budget", b.name)
+		}
+		if _, ok := rep.Baseline.Benchmarks[b.name]; !ok {
+			t.Errorf("%s: no baseline entry", b.name)
+		}
+	}
+	if _, ok := rep.Speedup["net_forward"]; !ok {
+		t.Error("missing net_forward speedup")
+	}
+}
+
+// TestEnforceFlagsRegression verifies the gate actually fails when a
+// snapshot exceeds a budget.
+func TestEnforceFlagsRegression(t *testing.T) {
+	bad := snapshot{Benchmarks: map[string]benchResult{}}
+	for name := range budgets {
+		bad.Benchmarks[name] = benchResult{NsPerOp: 1, AllocsPerOp: budgets[name] + 1}
+	}
+	var out bytes.Buffer
+	if err := enforce(&out, bad); err == nil {
+		t.Fatalf("enforce accepted a snapshot over budget:\n%s", out.String())
+	}
+	good := snapshot{Benchmarks: map[string]benchResult{}}
+	for name := range budgets {
+		good.Benchmarks[name] = benchResult{NsPerOp: 1, AllocsPerOp: 0}
+	}
+	out.Reset()
+	if err := enforce(&out, good); err != nil {
+		t.Fatalf("enforce rejected an in-budget snapshot: %v\n%s", err, out.String())
+	}
+}

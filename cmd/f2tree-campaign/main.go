@@ -33,6 +33,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/exp"
 	"repro/internal/failure"
+	"repro/internal/profile"
 )
 
 func main() {
@@ -67,8 +68,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		summary = fs.Bool("summary", true, "print the aggregate summary table")
 		quiet   = fs.Bool("q", false, "suppress the progress line")
 
-		bench    = fs.Bool("bench", false, "benchmark mode: fig4 matrix serial vs -j, emit a BENCH json")
-		benchOut = fs.String("bench-out", "BENCH_campaign.json", "benchmark output file")
+		bench       = fs.Bool("bench", false, "benchmark mode: fig4 matrix serial vs -j, emit a BENCH json")
+		benchOut    = fs.String("bench-out", "BENCH_campaign.json", "benchmark output file")
+		allowSerial = fs.Bool("bench-allow-serial", false, "let -bench run even when GOMAXPROCS prevents real parallelism")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,13 +82,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 
+	stopProfiles, err := profile.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(stderr, "f2tree-campaign:", perr)
+		}
+	}()
+
 	opts := campaign.Options{Parallelism: *j, Timeout: *timeout, Retries: *retries}
 	if !*quiet {
 		opts.Progress = stderr
 	}
 
 	if *bench {
-		return runBench(stdout, *seed, *j, *benchOut, opts)
+		return runBench(stdout, stderr, *seed, *j, *benchOut, *allowSerial, opts)
 	}
 
 	specs, err := expandFlags(*preset, *kind, *schemes, *ports, *conditions, *controls,
@@ -193,21 +208,35 @@ func expandFlags(preset, kind, schemes, ports, conditions, controls, channels st
 }
 
 // benchReport is the BENCH_campaign.json schema: wall-clock speedup of the
-// parallel pool over serial execution on the fig4 matrix.
+// parallel pool over serial execution on the fig4 matrix. Speedup is only a
+// statement about the worker pool when ParallelismMeaningful is true — on a
+// single-core box both arms run serially and the ratio is just noise, which
+// Warning spells out.
 type benchReport struct {
-	Bench               string  `json:"bench"`
-	Runs                int     `json:"runs"`
-	J                   int     `json:"j"`
-	GOMAXPROCS          int     `json:"gomaxprocs"`
-	SerialSeconds       float64 `json:"serial_seconds"`
-	ParallelSeconds     float64 `json:"parallel_seconds"`
-	Speedup             float64 `json:"speedup"`
-	RunsPerSecSerial    float64 `json:"runs_per_sec_serial"`
-	RunsPerSecParallel  float64 `json:"runs_per_sec_parallel"`
-	AggregatesIdentical bool    `json:"aggregates_identical"`
+	Bench                 string  `json:"bench"`
+	Runs                  int     `json:"runs"`
+	J                     int     `json:"j"`
+	GOMAXPROCS            int     `json:"gomaxprocs"`
+	SerialSeconds         float64 `json:"serial_seconds"`
+	ParallelSeconds       float64 `json:"parallel_seconds"`
+	Speedup               float64 `json:"speedup"`
+	RunsPerSecSerial      float64 `json:"runs_per_sec_serial"`
+	RunsPerSecParallel    float64 `json:"runs_per_sec_parallel"`
+	AggregatesIdentical   bool    `json:"aggregates_identical"`
+	ParallelismMeaningful bool    `json:"parallelism_meaningful"`
+	Warning               string  `json:"warning,omitempty"`
 }
 
-func runBench(stdout io.Writer, seed int64, j int, outPath string, opts campaign.Options) error {
+func runBench(stdout, stderr io.Writer, seed int64, j int, outPath string, allowSerial bool, opts campaign.Options) error {
+	meaningful := runtime.GOMAXPROCS(0) > 1 && j > 1
+	if !meaningful {
+		msg := fmt.Sprintf("GOMAXPROCS=%d, j=%d: the serial and parallel arms cannot differ, so the measured speedup says nothing about the worker pool",
+			runtime.GOMAXPROCS(0), j)
+		if !allowSerial {
+			return fmt.Errorf("-bench refused: %s (re-run on a multi-core machine, or pass -bench-allow-serial to record an explicitly-flagged serial measurement)", msg)
+		}
+		fmt.Fprintln(stderr, "f2tree-campaign: warning:", msg)
+	}
 	specs := campaign.Fig4Matrix(seed).Expand()
 	render := func(par int) (string, float64, error) {
 		o := opts
@@ -237,9 +266,14 @@ func runBench(stdout io.Writer, seed int64, j int, outPath string, opts campaign
 	rep := benchReport{
 		Bench: "campaign-fig4", Runs: len(specs), J: j, GOMAXPROCS: runtime.GOMAXPROCS(0),
 		SerialSeconds: serialS, ParallelSeconds: parS, Speedup: serialS / parS,
-		RunsPerSecSerial:    float64(len(specs)) / serialS,
-		RunsPerSecParallel:  float64(len(specs)) / parS,
-		AggregatesIdentical: serialAgg == parAgg,
+		RunsPerSecSerial:      float64(len(specs)) / serialS,
+		RunsPerSecParallel:    float64(len(specs)) / parS,
+		AggregatesIdentical:   serialAgg == parAgg,
+		ParallelismMeaningful: meaningful,
+	}
+	if !meaningful {
+		rep.Warning = fmt.Sprintf("measured with GOMAXPROCS=%d, j=%d: both arms executed serially; speedup is scheduling noise, not pool throughput",
+			runtime.GOMAXPROCS(0), j)
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	f2tree-sim scenario.json
+//	f2tree-sim [-cpuprofile cpu.pprof] [-memprofile mem.pprof] scenario.json
 //	f2tree-sim - < scenario.json
 //
 // Example scenario:
@@ -21,29 +21,40 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/profile"
 	"repro/internal/scenario"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "f2tree-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: f2tree-sim <scenario.json | ->")
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("f2tree-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: f2tree-sim [flags] <scenario.json | ->")
 	}
 	var r io.Reader
-	if args[0] == "-" {
+	if name := fs.Arg(0); name == "-" {
 		r = stdin
 	} else {
-		f, err := os.Open(args[0])
+		f, err := os.Open(name)
 		if err != nil {
 			return err
 		}
@@ -54,7 +65,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	stopProfiles, err := profile.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
 	rep, err := scenario.Run(sc)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

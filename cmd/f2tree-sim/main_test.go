@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -14,7 +17,7 @@ const doc = `{
 
 func TestRunFromStdin(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-"}, strings.NewReader(doc), &out); err != nil {
+	if err := run([]string{"-"}, strings.NewReader(doc), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "connectivityLossMs") {
@@ -22,15 +25,35 @@ func TestRunFromStdin(t *testing.T) {
 	}
 }
 
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	args := []string{"-cpuprofile", cpu, "-memprofile", mem, "-"}
+	if err := run(args, strings.NewReader(doc), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
 func TestRunRejectsUsageErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(""), &out); err == nil {
+	if err := run(nil, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("no args accepted")
 	}
-	if err := run([]string{"/does/not/exist.json"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"/does/not/exist.json"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run([]string{"-"}, strings.NewReader("{"), &out); err == nil {
+	if err := run([]string{"-"}, strings.NewReader("{"), &out, io.Discard); err == nil {
 		t.Fatal("bad JSON accepted")
 	}
 }

@@ -16,6 +16,7 @@ var scopedPackages = map[string]bool{
 	"repro/internal/controller": true,
 	"repro/internal/fib":        true,
 	"repro/internal/network":    true,
+	"repro/internal/transport":  true,
 	"repro/internal/failure":    true,
 	"repro/internal/topo":       true,
 	"repro/internal/detsort":    true,

@@ -131,16 +131,76 @@ func (e *entry) best() []NextHop {
 	return hops
 }
 
+// cacheEntry is one memoized lookup; it is live only while its epoch
+// matches the table's.
+type cacheEntry struct {
+	res   Result
+	epoch uint64
+}
+
 // Table is a forwarding table. The zero value is not usable; call New.
 type Table struct {
 	// byLen[b] maps masked network addresses of length b to entries.
 	byLen [33]map[netaddr.Addr]*entry
+	// lens lists the prefix lengths with at least one installed route, in
+	// descending order — the only lengths Lookup visits. A production table
+	// holds ~3 distinct lengths (/32, /24, /16, /15), not 33.
+	lens  []int
 	count int
+
+	// epoch versions every state a Lookup result depends on. Route
+	// mutations bump it internally; link-usability transitions must bump
+	// it via InvalidateFlowCache (the usable predicate is external state).
+	epoch    uint64
+	cache    map[FlowKey]cacheEntry
+	cacheCap int
 }
 
 // New returns an empty table.
 func New() *Table {
 	return &Table{}
+}
+
+// EnableFlowCache turns on flow→Result memoization for Lookup. capEntries
+// bounds the map (≤ 0 means a default of 4096); at capacity the cache is
+// reset rather than evicted, keeping behaviour deterministic.
+//
+// Correctness contract: the cache is invalidated by epoch comparison, and
+// the epoch advances automatically on every Add/Remove/ReplaceSource. The
+// caller owns the other half — whenever the state behind a Lookup's usable
+// predicate changes (a port's believed state flips), it must call
+// InvalidateFlowCache, or cached Results may bypass the F²Tree fallback.
+func (t *Table) EnableFlowCache(capEntries int) {
+	if capEntries <= 0 {
+		capEntries = 4096
+	}
+	t.cacheCap = capEntries
+	t.cache = make(map[FlowKey]cacheEntry, 64)
+}
+
+// InvalidateFlowCache discards every memoized lookup by advancing the
+// table's epoch. Call it on any link-usability transition visible to the
+// usable predicates passed to Lookup.
+func (t *Table) InvalidateFlowCache() { t.epoch++ }
+
+// notePopulated records that length b just gained its first route,
+// inserting it into the descending lens list.
+func (t *Table) notePopulated(b int) {
+	i := sort.Search(len(t.lens), func(i int) bool { return t.lens[i] <= b })
+	if i < len(t.lens) && t.lens[i] == b {
+		return
+	}
+	t.lens = append(t.lens, 0)
+	copy(t.lens[i+1:], t.lens[i:])
+	t.lens[i] = b
+}
+
+// noteEmptied records that length b lost its last route.
+func (t *Table) noteEmptied(b int) {
+	i := sort.Search(len(t.lens), func(i int) bool { return t.lens[i] <= b })
+	if i < len(t.lens) && t.lens[i] == b {
+		t.lens = append(t.lens[:i], t.lens[i+1:]...)
+	}
 }
 
 // Add installs (or replaces) the route for (prefix, source). Next hops are
@@ -157,6 +217,9 @@ func (t *Table) Add(r Route) error {
 	if t.byLen[b] == nil {
 		t.byLen[b] = make(map[netaddr.Addr]*entry)
 	}
+	if len(t.byLen[b]) == 0 {
+		t.notePopulated(b)
+	}
 	e := t.byLen[b][r.Prefix.Addr()]
 	if e == nil {
 		e = &entry{bySource: make(map[Source][]NextHop, 2)}
@@ -166,6 +229,7 @@ func (t *Table) Add(r Route) error {
 		t.count++
 	}
 	e.bySource[r.Source] = hops
+	t.epoch++
 	return nil
 }
 
@@ -188,7 +252,11 @@ func (t *Table) Remove(p netaddr.Prefix, src Source) {
 	t.count--
 	if len(e.bySource) == 0 {
 		delete(m, p.Addr())
+		if len(m) == 0 {
+			t.noteEmptied(b)
+		}
 	}
+	t.epoch++
 }
 
 // ReplaceSource atomically replaces every route of the given source with
@@ -203,10 +271,14 @@ func (t *Table) ReplaceSource(src Source, routes []Route) error {
 				t.count--
 				if len(e.bySource) == 0 {
 					delete(t.byLen[b], addr)
+					if len(t.byLen[b]) == 0 {
+						t.noteEmptied(b)
+					}
 				}
 			}
 		}
 	}
+	t.epoch++
 	for _, r := range routes {
 		r.Source = src
 		if err := t.Add(r); err != nil {
@@ -233,17 +305,19 @@ type Result struct {
 // unusable, the /16 is consulted, then the /15 — exactly the behaviour the
 // paper configures with its two static backup routes.
 func (t *Table) Lookup(dst netaddr.Addr, flow FlowKey, usable func(NextHop) bool) (Result, bool) {
+	// The cache memoizes only the canonical forwarding query (dst is the
+	// flow's destination); diagnostic lookups with a detached dst bypass it.
+	cached := t.cache != nil && dst == flow.Dst
+	if cached {
+		if e, ok := t.cache[flow]; ok && e.epoch == t.epoch {
+			return e.res, true
+		}
+	}
 	var scratch [16]NextHop
-	for b := 32; b >= 0; b-- {
-		m := t.byLen[b]
-		if len(m) == 0 {
-			continue
-		}
-		p, err := netaddr.PrefixFrom(dst, b)
-		if err != nil {
-			continue
-		}
-		e := m[p.Addr()]
+	// Only lengths that hold routes are visited — typically /32, /24, /16,
+	// /15 — and the mask is applied directly: no per-length error path.
+	for _, b := range t.lens {
+		e := t.byLen[b][dst.Masked(b)]
 		if e == nil {
 			continue
 		}
@@ -261,7 +335,14 @@ func (t *Table) Lookup(dst netaddr.Addr, flow FlowKey, usable func(NextHop) bool
 			continue // fall through to a shorter prefix
 		}
 		pick := live[int(flow.Hash()%uint32(len(live)))]
-		return Result{Prefix: p, NextHop: pick}, true
+		res := Result{Prefix: netaddr.PrefixOf(dst, b), NextHop: pick}
+		if cached {
+			if len(t.cache) >= t.cacheCap {
+				t.cache = make(map[FlowKey]cacheEntry, 64)
+			}
+			t.cache[flow] = cacheEntry{res: res, epoch: t.epoch}
+		}
+		return res, true
 	}
 	return Result{}, false
 }

@@ -113,9 +113,29 @@ func MustParsePrefix(s string) Prefix {
 // HostPrefix returns the /32 prefix covering exactly a.
 func HostPrefix(a Addr) Prefix { return Prefix{addr: a, bits: 32} }
 
+// Masked returns a with the host bits below bits cleared; bits is clamped
+// to [0,32]. This is the error-free masking primitive for lookup hot paths
+// whose bit length is known valid by construction.
+func (a Addr) Masked(bits int) Addr { return a & maskFor(bits) }
+
+// PrefixOf returns the prefix a/bits with host bits cleared, clamping bits
+// to [0,32]. Unlike PrefixFrom it cannot fail, so per-lookup error checks
+// stay out of the forwarding path.
+func PrefixOf(a Addr, bits int) Prefix {
+	if bits < 0 {
+		bits = 0
+	} else if bits > 32 {
+		bits = 32
+	}
+	return Prefix{addr: a & maskFor(bits), bits: uint8(bits)}
+}
+
 func maskFor(bits int) Addr {
 	if bits <= 0 {
 		return 0
+	}
+	if bits >= 32 {
+		return ^Addr(0)
 	}
 	return Addr(^uint32(0) << (32 - uint(bits)))
 }

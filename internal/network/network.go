@@ -40,6 +40,11 @@ type Config struct {
 	// hashing per flow (ablation: breaks TCP ordering assumptions the
 	// paper's ECMP analysis relies on).
 	ECMPPerPacket bool
+	// DisableFlowCache turns off the per-switch flow→Result lookup cache
+	// (ablation; results are identical either way, only slower). The cache
+	// is also skipped automatically under ECMPPerPacket, whose per-packet
+	// key perturbation defeats memoization.
+	DisableFlowCache bool
 }
 
 // DefaultConfig returns the paper's emulation constants.
@@ -113,6 +118,9 @@ type nodeState struct {
 	// DetectionDelay.
 	believedUp []bool
 	recv       ReceiveFunc
+	// usable is the node's next-hop liveness predicate, built once so the
+	// forwarding hot path never allocates a closure per packet.
+	usable func(fib.NextHop) bool
 }
 
 // Network is the runtime data plane over a topology.
@@ -128,7 +136,99 @@ type Network struct {
 	lossFilter  LossFunc
 	spraySeq    uint16
 
+	// Hot-path free lists: packets (NewPacket) and in-flight hop records
+	// (one per scheduled arrival/forward event) are recycled for the life
+	// of the network instead of allocated per hop.
+	freePkts   []*Packet
+	freeEvents []*netEvent
+
 	stats Stats
+}
+
+// netEvent is one pooled in-flight record: either a packet arriving at the
+// far end of a link direction or a packet leaving a switch after its
+// processing delay. Using a static dispatch function plus a pooled record
+// replaces the two closures the old per-hop path allocated.
+type netEvent struct {
+	n    *Network
+	pkt  *Packet
+	node topo.NodeID // arrive: receiver; forward: forwarding switch
+	from topo.NodeID // arrive only: transmitter, for drop attribution
+	link topo.LinkID // arrive only
+	dir  int8        // arrive only
+	kind uint8
+}
+
+// netEvent kinds.
+const (
+	evArrive uint8 = iota + 1
+	evForward
+)
+
+// runNetEvent is the static sim.ArgEvent all in-flight hops share.
+func runNetEvent(now sim.Time, arg any) {
+	ev, ok := arg.(*netEvent)
+	if !ok {
+		return
+	}
+	n := ev.n
+	pkt := ev.pkt
+	switch ev.kind {
+	case evArrive:
+		if !n.links[ev.link].dirs[ev.dir].up {
+			// The direction died while the packet was in queue or flight.
+			n.putEvent(ev)
+			n.drop(now, ev.from, pkt, DropLinkDown)
+			return
+		}
+		node := ev.node
+		n.putEvent(ev)
+		n.arrive(now, node, pkt)
+	case evForward:
+		node := ev.node
+		n.putEvent(ev)
+		n.forward(now, node, pkt)
+	}
+}
+
+// getEvent returns a fresh or recycled in-flight record.
+func (n *Network) getEvent() *netEvent {
+	if ln := len(n.freeEvents); ln > 0 {
+		ev := n.freeEvents[ln-1]
+		n.freeEvents[ln-1] = nil
+		n.freeEvents = n.freeEvents[:ln-1]
+		return ev
+	}
+	return &netEvent{n: n}
+}
+
+// putEvent recycles an in-flight record.
+func (n *Network) putEvent(ev *netEvent) {
+	ev.pkt = nil
+	n.freeEvents = append(n.freeEvents, ev)
+}
+
+// NewPacket returns a zeroed packet from the network's free list. Packets
+// obtained here are recycled automatically when they die (delivered or
+// dropped); see the retention contract on Packet.
+func (n *Network) NewPacket() *Packet {
+	if ln := len(n.freePkts); ln > 0 {
+		p := n.freePkts[ln-1]
+		n.freePkts[ln-1] = nil
+		n.freePkts = n.freePkts[:ln-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePacket recycles a pool-owned packet; direct &Packet{} values are
+// left alone.
+func (n *Network) releasePacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	n.freePkts = append(n.freePkts, p)
 }
 
 // LossFunc lets tests and fault injectors drop individual packets at a
@@ -147,14 +247,20 @@ func New(s *sim.Simulator, t *topo.Topology, cfg Config) (*Network, error) {
 		links: make([]linkState, len(t.Links)),
 	}
 	n.stats.Drops = make(map[DropCause]uint64)
+	flowCache := !n.cfg.DisableFlowCache && !n.cfg.ECMPPerPacket
 	for i := range t.Nodes {
 		nd := &t.Nodes[i]
 		n.nodes[i] = nodeState{
 			table:      fib.New(),
 			believedUp: make([]bool, nd.NumPorts),
 		}
-		for p := range n.nodes[i].believedUp {
-			n.nodes[i].believedUp[p] = true
+		st := &n.nodes[i]
+		for p := range st.believedUp {
+			st.believedUp[p] = true
+		}
+		st.usable = func(nh fib.NextHop) bool { return st.believedUp[nh.Port] }
+		if flowCache {
+			st.table.EnableFlowCache(0)
 		}
 	}
 	for i := range t.Links {
@@ -337,6 +443,9 @@ func (n *Network) scheduleDetection(id topo.LinkID) {
 				return
 			}
 			st.believedUp[end.port] = actual
+			// Link-usability transition: cached lookup results on this
+			// node may now bypass (or miss) the F²Tree fallback.
+			st.table.InvalidateFlowCache()
 			for _, fn := range n.onPortState {
 				fn(now, end.node, end.port, actual)
 			}
@@ -357,12 +466,14 @@ func (n *Network) SendFromHost(host topo.NodeID, pkt *Packet) {
 	n.forward(n.sim.Now(), host, pkt)
 }
 
-// drop records a packet loss.
+// drop records a packet loss. The packet dies here: once the observers
+// have run, pool-owned packets are recycled.
 func (n *Network) drop(now sim.Time, at topo.NodeID, pkt *Packet, cause DropCause) {
 	n.stats.Drops[cause]++
 	for _, fn := range n.onDrop {
 		fn(now, at, pkt, cause)
 	}
+	n.releasePacket(pkt)
 }
 
 // forward routes pkt out of node (host or switch) at time now.
@@ -374,9 +485,7 @@ func (n *Network) forward(now sim.Time, node topo.NodeID, pkt *Packet) {
 		n.spraySeq++
 		key.SrcPort ^= n.spraySeq
 	}
-	res, ok := st.table.Lookup(pkt.Flow.Dst, key, func(nh fib.NextHop) bool {
-		return st.believedUp[nh.Port]
-	})
+	res, ok := st.table.Lookup(pkt.Flow.Dst, key, st.usable)
 	if !ok {
 		n.drop(now, node, pkt, DropNoRoute)
 		return
@@ -427,16 +536,9 @@ func (n *Network) transmit(now sim.Time, node topo.NodeID, port int, pkt *Packet
 	d.nextFree = start.Add(txTime)
 	other, _ := l.Other(node)
 	arrive := d.nextFree.Add(n.cfg.PropDelay)
-	linkID := l.ID
-	dirIdx := dir
-	n.sim.At(arrive, func(at sim.Time) {
-		if !n.links[linkID].dirs[dirIdx].up {
-			// The direction died while the packet was in queue or flight.
-			n.drop(at, node, pkt, DropLinkDown)
-			return
-		}
-		n.arrive(at, other, pkt)
-	})
+	ev := n.getEvent()
+	ev.kind, ev.pkt, ev.node, ev.from, ev.link, ev.dir = evArrive, pkt, other, node, l.ID, int8(dir)
+	n.sim.AtArg(arrive, runNetEvent, ev)
 }
 
 // arrive handles pkt reaching node.
@@ -451,6 +553,7 @@ func (n *Network) arrive(now sim.Time, node topo.NodeID, pkt *Packet) {
 		if st := &n.nodes[node]; st.recv != nil {
 			st.recv(now, pkt)
 		}
+		n.releasePacket(pkt)
 		return
 	}
 	// Switch hop.
@@ -460,7 +563,7 @@ func (n *Network) arrive(now sim.Time, node topo.NodeID, pkt *Packet) {
 		n.drop(now, node, pkt, DropTTLExpired)
 		return
 	}
-	n.sim.After(n.cfg.ProcDelay, func(at sim.Time) {
-		n.forward(at, node, pkt)
-	})
+	ev := n.getEvent()
+	ev.kind, ev.pkt, ev.node = evForward, pkt, node
+	n.sim.AfterArg(n.cfg.ProcDelay, runNetEvent, ev)
 }

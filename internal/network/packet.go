@@ -13,6 +13,12 @@ const (
 
 // Packet is the unit of forwarding. Payload carries the transport segment
 // opaquely; the network layer only reads the flow key, size and TTL.
+//
+// Packets obtained from Network.NewPacket are recycled the moment they die
+// (delivery or drop): receivers and drop observers may read them during the
+// callback but must not retain the *Packet afterwards (retaining the
+// Payload is fine — the pool never touches payload contents). Packets
+// constructed directly with &Packet{} are never recycled.
 type Packet struct {
 	// Flow is the five-tuple; Flow.Dst drives forwarding.
 	Flow fib.FlowKey
@@ -26,6 +32,9 @@ type Packet struct {
 	Hops int
 	// Payload is the transport-layer segment.
 	Payload any
+
+	// pooled marks packets owned by a Network's free list.
+	pooled bool
 }
 
 // DropCause says why the network dropped a packet.

@@ -33,9 +33,7 @@ func (n *Network) PathTrace(src topo.NodeID, flow fib.FlowKey) (Path, error) {
 			return path, nil
 		}
 		st := &n.nodes[cur]
-		res, ok := st.table.Lookup(flow.Dst, flow, func(nh fib.NextHop) bool {
-			return st.believedUp[nh.Port]
-		})
+		res, ok := st.table.Lookup(flow.Dst, flow, st.usable)
 		if !ok {
 			return path, fmt.Errorf("network: no route at %s for %v", nd.Name, flow.Dst)
 		}

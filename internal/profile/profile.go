@@ -1,0 +1,50 @@
+// Package profile wires runtime/pprof into the command-line tools: every
+// binary with a hot path accepts -cpuprofile and -memprofile and delegates
+// here, so profiles are captured identically everywhere (`go tool pprof`
+// reads the output).
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling if cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, if memPath is non-empty,
+// writes a GC-settled heap profile. Either path may be empty; the stop
+// function must always be called (idempotence is not required — call once).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle so the heap profile shows live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -4,12 +4,17 @@
 // runs synchronously inside event callbacks. Determinism is guaranteed by a
 // stable tie-break on (time, sequence) and by routing every source of
 // randomness through the simulator's seeded RNG.
+//
+// The event core is allocation-free in steady state: scheduled events live
+// in a concrete indexed 4-ary min-heap of *item, items are recycled through
+// a free list, and Handles carry a generation counter so a handle to an
+// already-run (and possibly recycled) event is safely inert. The AtArg/
+// AfterArg variants let hot paths schedule a static function plus a pooled
+// argument record instead of allocating a fresh closure per event.
 package sim
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
 	"math/rand"
 	"time"
 )
@@ -45,58 +50,44 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Event is a callback scheduled to run at a virtual instant.
 type Event func(now Time)
 
-// item is a scheduled event in the priority queue.
+// ArgEvent is an Event that receives an opaque argument at fire time. Hot
+// paths pass a package-level function here (never a fresh closure) and
+// thread per-event state through arg, typically a pooled record.
+type ArgEvent func(now Time, arg any)
+
+// item is a scheduled event in the priority queue. Items are pooled: gen
+// increments every time an item is released, invalidating outstanding
+// Handles before the item can be reused.
 type item struct {
 	at    Time
 	seq   uint64 // tie-break: FIFO among equal times
 	fn    Event
-	index int // heap index; -1 once popped or canceled
+	argFn ArgEvent
+	arg   any
+	index int32 // heap index; -1 once popped or canceled
+	gen   uint64
 }
 
-// eventQueue is a min-heap of items ordered by (at, seq).
-type eventQueue []*item
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// itemLess is the total event order: (at, seq). seq is unique, so there are
+// never ties and heap pop order is deterministic.
+func itemLess(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	it, ok := x.(*item)
-	if !ok {
-		return
-	}
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*q = old[:n-1]
-	return it
-}
-
-// Handle identifies a scheduled event so it can be canceled.
+// Handle identifies a scheduled event so it can be canceled. The generation
+// pin makes stale handles safe: once the event has run or been canceled its
+// item may be recycled for a new event, and the old handle must not cancel
+// the new occupant.
 type Handle struct {
-	it *item
+	it  *item
+	gen uint64
 }
 
 // Active reports whether the event is still pending.
-func (h Handle) Active() bool { return h.it != nil && h.it.index >= 0 }
+func (h Handle) Active() bool { return h.it != nil && h.it.gen == h.gen && h.it.index >= 0 }
 
 // ErrStopped is returned by Run when the simulation was stopped explicitly.
 var ErrStopped = errors.New("sim: stopped")
@@ -104,7 +95,8 @@ var ErrStopped = errors.New("sim: stopped")
 // Simulator owns the virtual clock and event queue.
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	heap    []*item // indexed 4-ary min-heap ordered by itemLess
+	free    []*item // recycled items
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -126,18 +118,47 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 func (s *Simulator) EventsRun() uint64 { return s.ran }
 
 // Pending returns the number of events still queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
-// At schedules fn to run at the absolute virtual time at. Scheduling in the
-// past is treated as "now" (the event runs before time advances further).
-func (s *Simulator) At(at Time, fn Event) Handle {
+// get returns a fresh or recycled item.
+func (s *Simulator) get() *item {
+	if n := len(s.free); n > 0 {
+		it := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+// put releases an item to the free list. The generation bump here is what
+// deactivates every Handle issued for the item's previous life.
+func (s *Simulator) put(it *item) {
+	it.gen++
+	it.fn, it.argFn, it.arg = nil, nil, nil
+	it.index = -1
+	s.free = append(s.free, it)
+}
+
+// schedule enqueues one event. Scheduling in the past is treated as "now"
+// (the event runs before time advances further).
+func (s *Simulator) schedule(at Time, fn Event, argFn ArgEvent, arg any) Handle {
 	if at < s.now {
 		at = s.now
 	}
-	it := &item{at: at, seq: s.seq, fn: fn}
+	it := s.get()
+	it.at, it.seq = at, s.seq
+	it.fn, it.argFn, it.arg = fn, argFn, arg
 	s.seq++
-	heap.Push(&s.queue, it)
-	return Handle{it: it}
+	it.index = int32(len(s.heap))
+	s.heap = append(s.heap, it)
+	s.siftUp(len(s.heap) - 1)
+	return Handle{it: it, gen: it.gen}
+}
+
+// At schedules fn to run at the absolute virtual time at.
+func (s *Simulator) At(at Time, fn Event) Handle {
+	return s.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
@@ -145,16 +166,33 @@ func (s *Simulator) After(d time.Duration, fn Event) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now.Add(d), fn)
+	return s.schedule(s.now.Add(d), fn, nil, nil)
 }
 
-// Cancel removes a pending event. Canceling an already-run or already-
-// canceled event is a no-op. It reports whether the event was pending.
+// AtArg schedules fn(now, arg) at the absolute virtual time at. fn should
+// be a package-level function; arg carries the per-event state (ideally a
+// pooled pointer) so the call allocates nothing.
+func (s *Simulator) AtArg(at Time, fn ArgEvent, arg any) Handle {
+	return s.schedule(at, nil, fn, arg)
+}
+
+// AfterArg schedules fn(now, arg) to run d after the current time.
+func (s *Simulator) AfterArg(d time.Duration, fn ArgEvent, arg any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now.Add(d), nil, fn, arg)
+}
+
+// Cancel removes a pending event. Canceling an already-run, already-
+// canceled or stale-generation event is a no-op. It reports whether the
+// event was pending.
 func (s *Simulator) Cancel(h Handle) bool {
 	if !h.Active() {
 		return false
 	}
-	heap.Remove(&s.queue, h.it.index)
+	s.removeAt(int(h.it.index))
+	s.put(h.it)
 	return true
 }
 
@@ -165,22 +203,27 @@ func (s *Simulator) Stop() { s.stopped = true }
 // A zero horizon means "run to exhaustion". Events scheduled exactly at the
 // horizon still run.
 func (s *Simulator) Run(horizon Time) error {
-	for len(s.queue) > 0 {
+	for len(s.heap) > 0 {
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.queue[0]
+		next := s.heap[0]
 		if horizon > 0 && next.at > horizon {
 			s.now = horizon
 			return nil
 		}
-		popped, ok := heap.Pop(&s.queue).(*item)
-		if !ok {
-			return fmt.Errorf("sim: corrupt event queue entry %T", popped)
-		}
-		s.now = popped.at
+		it := s.removeAt(0)
+		s.now = it.at
 		s.ran++
-		popped.fn(s.now)
+		fn, argFn, arg := it.fn, it.argFn, it.arg
+		// Release before running: the handle is already dead (generation
+		// bumped), and the callback may immediately schedule into the slot.
+		s.put(it)
+		if argFn != nil {
+			argFn(s.now, arg)
+		} else if fn != nil {
+			fn(s.now)
+		}
 	}
 	if horizon > s.now {
 		s.now = horizon
@@ -191,27 +234,104 @@ func (s *Simulator) Run(horizon Time) error {
 // RunUntilIdle is Run with no horizon.
 func (s *Simulator) RunUntilIdle() error { return s.Run(0) }
 
+// siftUp restores the heap property from index i toward the root.
+func (s *Simulator) siftUp(i int) {
+	it := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !itemLess(it, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heap[i].index = int32(i)
+		i = p
+	}
+	s.heap[i] = it
+	it.index = int32(i)
+}
+
+// siftDown restores the heap property from index i toward the leaves.
+func (s *Simulator) siftDown(i int) {
+	n := len(s.heap)
+	it := s.heap[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if itemLess(s.heap[k], s.heap[m]) {
+				m = k
+			}
+		}
+		if !itemLess(s.heap[m], it) {
+			break
+		}
+		s.heap[i] = s.heap[m]
+		s.heap[i].index = int32(i)
+		i = m
+	}
+	s.heap[i] = it
+	it.index = int32(i)
+}
+
+// removeAt detaches the item at heap index i, preserving the heap order of
+// the rest, and returns it with index −1. The caller releases it via put.
+func (s *Simulator) removeAt(i int) *item {
+	n := len(s.heap) - 1
+	it := s.heap[i]
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if i < n {
+		s.heap[i] = last
+		last.index = int32(i)
+		s.siftDown(i)
+		if int(last.index) == i {
+			s.siftUp(i)
+		}
+	}
+	it.index = -1
+	return it
+}
+
+// ticker carries the state of one repeating timer; pooled per Ticker call
+// so each tick schedules without allocating.
+type ticker struct {
+	s        *Simulator
+	interval time.Duration
+	fn       Event
+	h        Handle
+	stopped  bool
+}
+
+// tickerFire is the static re-arming callback for Ticker.
+func tickerFire(now Time, arg any) {
+	t := arg.(*ticker)
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	t.h = t.s.AfterArg(t.interval, tickerFire, t)
+}
+
+func (t *ticker) stop() {
+	t.stopped = true
+	t.s.Cancel(t.h)
+}
+
 // Ticker invokes fn every interval until canceled via the returned stop
-// function or until pred (if non-nil) returns false.
+// function.
 func (s *Simulator) Ticker(interval time.Duration, fn Event) (stop func()) {
 	if interval <= 0 {
 		return func() {}
 	}
-	var (
-		h       Handle
-		stopped bool
-	)
-	var tick Event
-	tick = func(now Time) {
-		if stopped {
-			return
-		}
-		fn(now)
-		h = s.After(interval, tick)
-	}
-	h = s.After(interval, tick)
-	return func() {
-		stopped = true
-		s.Cancel(h)
-	}
+	t := &ticker{s: s, interval: interval, fn: fn}
+	t.h = s.AfterArg(interval, tickerFire, t)
+	return t.stop
 }

@@ -102,14 +102,13 @@ func (st *Stack) BindUDP(port uint16, h UDPHandler) error {
 
 // SendUDP transmits one datagram of `size` payload bytes.
 func (st *Stack) SendUDP(dst netaddr.Addr, srcPort, dstPort uint16, size int, dg Datagram) {
-	pkt := &network.Packet{
-		Flow: fib.FlowKey{
-			Src: st.addr, Dst: dst, Proto: network.ProtoUDP,
-			SrcPort: srcPort, DstPort: dstPort,
-		},
-		Size:    size + HeaderBytes,
-		Payload: dg,
+	pkt := st.nw.NewPacket()
+	pkt.Flow = fib.FlowKey{
+		Src: st.addr, Dst: dst, Proto: network.ProtoUDP,
+		SrcPort: srcPort, DstPort: dstPort,
 	}
+	pkt.Size = size + HeaderBytes
+	pkt.Payload = dg
 	st.nw.SendFromHost(st.host, pkt)
 }
 

@@ -263,14 +263,13 @@ func (c *Conn) RTO() time.Duration { return c.rto }
 // sendSegment transmits seg on the wire.
 func (c *Conn) sendSegment(seg *Segment) {
 	size := seg.Len + HeaderBytes
-	pkt := &network.Packet{
-		Flow: fib.FlowKey{
-			Src: c.stack.addr, Dst: c.remote, Proto: network.ProtoTCP,
-			SrcPort: c.localPort, DstPort: c.remotePort,
-		},
-		Size:    size,
-		Payload: seg,
+	pkt := c.stack.nw.NewPacket()
+	pkt.Flow = fib.FlowKey{
+		Src: c.stack.addr, Dst: c.remote, Proto: network.ProtoTCP,
+		SrcPort: c.localPort, DstPort: c.remotePort,
 	}
+	pkt.Size = size
+	pkt.Payload = seg
 	c.stack.nw.SendFromHost(c.stack.host, pkt)
 }
 
@@ -406,6 +405,7 @@ func (c *Conn) handleSegment(now sim.Time, seg *Segment) {
 			// Drain any buffered segments now contiguous.
 			for c.ooo != nil {
 				drained := false
+				//f2tree:unordered fixed-point drain: re-scans until no segment extends rcvNxt, so order cannot change the result
 				for s, e := range c.ooo {
 					if s <= c.rcvNxt {
 						if e > c.rcvNxt {
