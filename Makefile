@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet f2tree-vet race check bench bench-campaign bench-hotpath
+.PHONY: build test vet f2tree-vet vet-audit race check bench bench-campaign bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The determinism gate: stock go vet plus the mapiter/simclock/lockcheck
-# analyzers from internal/analysis (see README "Determinism gate").
+# The determinism and contract gate: stock go vet plus the analyzers from
+# internal/analysis — mapiter, simclock, lockcheck, poolcheck, hotpathalloc,
+# epochcheck, handlecheck (see README "Determinism gate").
 f2tree-vet:
 	$(GO) run ./cmd/f2tree-vet ./...
+
+# Suppression audit: inventory every //f2tree: directive and fail on stale
+# suppressions, unknown verbs and missing justifications.
+vet-audit:
+	$(GO) run ./cmd/f2tree-vet -novet -audit ./...
 
 race:
 	$(GO) test -race ./...
 
-check: build f2tree-vet race
+check: build f2tree-vet vet-audit race
 
 bench:
 	$(GO) test -bench=. -benchmem

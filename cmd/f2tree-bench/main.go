@@ -132,11 +132,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *withFig4 {
 		fmt.Fprintf(stderr, "bench %-19s ... ", "fig4_e2e")
-		begin := time.Now() // wall-clock by design: measures the simulator itself
+		begin := time.Now() //f2tree:wallclock measures the real runtime of the simulator itself, by design
 		if _, err := exp.RunFig4(42); err != nil {
 			return fmt.Errorf("fig4: %w", err)
 		}
-		cur.Fig4Seconds = math.Round(time.Since(begin).Seconds()*1000) / 1000
+		cur.Fig4Seconds = math.Round(time.Since(begin).Seconds()*1000) / 1000 //f2tree:wallclock paired with the Now above
 		fmt.Fprintf(stderr, "%10.2f s\n", cur.Fig4Seconds)
 	}
 
@@ -149,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Current:            cur,
 		Speedup:            map[string]float64{},
 	}
+	//f2tree:unordered per-key writes into a map that is rendered as sorted JSON
 	for name, b := range baseline.Benchmarks {
 		if c, ok := cur.Benchmarks[name]; ok && c.NsPerOp > 0 {
 			rep.Speedup[name] = round2(b.NsPerOp / c.NsPerOp)

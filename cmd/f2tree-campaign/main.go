@@ -116,6 +116,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer store.Close()
+		for _, w := range store.Warnings() {
+			fmt.Fprintln(stderr, "f2tree-campaign: warning:", w)
+		}
 		opts.Store = store
 	}
 
@@ -241,7 +244,7 @@ func runBench(stdout, stderr io.Writer, seed int64, j int, outPath string, allow
 	render := func(par int) (string, float64, error) {
 		o := opts
 		o.Parallelism = par
-		begin := time.Now()
+		begin := time.Now() //f2tree:wallclock measures real elapsed time for the parallel-speedup report
 		res, err := campaign.Run(specs, campaign.ExperimentRunner(), o)
 		if err != nil {
 			return "", 0, err
@@ -253,7 +256,7 @@ func runBench(stdout, stderr io.Writer, seed int64, j int, outPath string, allow
 		if err := campaign.WriteAggregateJSONL(&b, campaign.AggregateResults(res.Results)); err != nil {
 			return "", 0, err
 		}
-		return b.String(), time.Since(begin).Seconds(), nil
+		return b.String(), time.Since(begin).Seconds(), nil //f2tree:wallclock paired with the Now above
 	}
 	serialAgg, serialS, err := render(1)
 	if err != nil {

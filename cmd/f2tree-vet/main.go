@@ -1,8 +1,9 @@
-// Command f2tree-vet is the repository's determinism and concurrency
-// static-analysis gate. It runs the stock `go vet` passes and then the
-// three custom analyzers from internal/analysis — mapiter, simclock and
-// lockcheck — over the simulation/routing packages, and exits non-zero on
-// any finding. CI runs it between `go vet` and the race-enabled tests:
+// Command f2tree-vet is the repository's determinism, contract and
+// lifecycle static-analysis gate. It runs the stock `go vet` passes and
+// then the custom analyzers from internal/analysis — mapiter, simclock,
+// lockcheck, poolcheck, hotpathalloc, epochcheck and handlecheck — over
+// the simulation, routing and command packages, and exits non-zero on any
+// finding. CI runs it between `go vet` and the race-enabled tests:
 //
 //	go run ./cmd/f2tree-vet ./...
 //
@@ -10,10 +11,19 @@
 //
 //	-novet   skip the stock go vet passes (custom analyzers only)
 //	-list    print the analyzers and the in-scope packages, then exit
+//	-all     lift the scope filter (analyze every matched package)
+//	-json    emit findings (or the -audit inventory) as JSON on stdout
+//	-audit   inventory every //f2tree: directive and fail on stale
+//	         suppressions, unknown verbs and missing justifications
 //	-v       report each package as it is analyzed
+//
+// Exit codes: 0 clean, 1 findings (or audit defects), 2 operational
+// error — including a package pattern that matches nothing in scope, so a
+// typo'd pattern cannot masquerade as a clean run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,16 +36,35 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Package  string `json:"package"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output for a normal (non-audit) run.
+type jsonReport struct {
+	Findings []finding `json:"findings"`
+	Count    int       `json:"count"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("f2tree-vet", flag.ContinueOnError)
 	novet := fs.Bool("novet", false, "skip the stock go vet passes")
 	list := fs.Bool("list", false, "list analyzers and in-scope packages, then exit")
-	all := fs.Bool("all", false, "run the determinism analyzers on every listed package, not just the in-scope ones")
+	all := fs.Bool("all", false, "run the analyzers on every listed package, not just the in-scope ones")
+	jsonOut := fs.Bool("json", false, "emit findings (or the audit inventory) as JSON on stdout")
+	audit := fs.Bool("audit", false, "audit //f2tree: directives instead of reporting findings")
 	verbose := fs.Bool("v", false, "report each package as it is analyzed")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: f2tree-vet [flags] [packages]\n\n")
-		fmt.Fprintf(fs.Output(), "Runs go vet plus the determinism analyzers (mapiter, simclock, lockcheck)\n")
-		fmt.Fprintf(fs.Output(), "over the simulation/routing packages. Default package pattern: ./...\n\n")
+		fmt.Fprintf(fs.Output(), "Runs go vet plus the determinism/contract analyzers (mapiter, simclock,\n")
+		fmt.Fprintf(fs.Output(), "lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck) over the\n")
+		fmt.Fprintf(fs.Output(), "simulation, routing and command packages. Default package pattern: ./...\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -49,7 +78,7 @@ func run(args []string) int {
 	if *list {
 		fmt.Println("analyzers:")
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
 		}
 		fmt.Println("in-scope packages:")
 		for _, p := range analysis.ScopedPackages() {
@@ -60,7 +89,7 @@ func run(args []string) int {
 
 	failed := false
 
-	if !*novet {
+	if !*novet && !*audit {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -78,11 +107,25 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "f2tree-vet: %v\n", err)
 		return 2
 	}
-	findings := 0
+	var scoped []*analysis.Package
 	for _, pkg := range pkgs {
-		if !*all && !analysis.InScope(pkg.ImportPath) {
-			continue
+		if *all || analysis.InScope(pkg.ImportPath) {
+			scoped = append(scoped, pkg)
 		}
+	}
+	if len(scoped) == 0 {
+		fmt.Fprintf(os.Stderr,
+			"f2tree-vet: no packages to analyze: %v matched %d package(s), none in scope (use -all to lift the scope filter, -list to see it)\n",
+			patterns, len(pkgs))
+		return 2
+	}
+
+	if *audit {
+		return runAudit(scoped, *jsonOut)
+	}
+
+	var report jsonReport
+	for _, pkg := range scoped {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "f2tree-vet: analyzing %s\n", pkg.ImportPath)
 		}
@@ -93,17 +136,89 @@ func run(args []string) int {
 				return 2
 			}
 			for _, d := range diags {
-				fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-				findings++
+				pos := pkg.Fset.Position(d.Pos)
+				if *jsonOut {
+					report.Findings = append(report.Findings, finding{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Column:   pos.Column,
+						Package:  pkg.ImportPath,
+						Analyzer: d.Analyzer,
+						Message:  d.Message,
+					})
+				} else {
+					fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+				}
+				report.Count++
 			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "f2tree-vet: %d finding(s)\n", findings)
+	if *jsonOut {
+		report.Findings = nonNil(report.Findings)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "f2tree-vet: encoding JSON: %v\n", err)
+			return 2
+		}
+	}
+	if report.Count > 0 {
+		fmt.Fprintf(os.Stderr, "f2tree-vet: %d finding(s)\n", report.Count)
 		failed = true
 	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// runAudit inventories the //f2tree: directives of the scoped packages
+// and fails on stale suppressions, unknown verbs and suppressions with no
+// justification.
+func runAudit(pkgs []*analysis.Package, jsonOut bool) int {
+	res, err := analysis.Audit(pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f2tree-vet: audit: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		res.Directives = nonNil(res.Directives)
+		res.Stale = nonNil(res.Stale)
+		res.Unknown = nonNil(res.Unknown)
+		res.Unjustified = nonNil(res.Unjustified)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "f2tree-vet: encoding JSON: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Directives {
+			fmt.Printf("%s\n", d.Describe())
+		}
+		for _, d := range res.Stale {
+			fmt.Fprintf(os.Stderr, "f2tree-vet: stale suppression (no %s finding on its line): %s\n", d.Analyzer, d.Describe())
+		}
+		for _, d := range res.Unknown {
+			fmt.Fprintf(os.Stderr, "f2tree-vet: unknown directive verb %q: %s\n", d.Verb, d.Describe())
+		}
+		for _, d := range res.Unjustified {
+			fmt.Fprintf(os.Stderr, "f2tree-vet: suppression without a reason: %s\n", d.Describe())
+		}
+	}
+	if !res.Clean() {
+		fmt.Fprintf(os.Stderr, "f2tree-vet: audit: %d stale, %d unknown, %d unjustified directive(s)\n",
+			len(res.Stale), len(res.Unknown), len(res.Unjustified))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "f2tree-vet: audit: %d directive(s), all live and justified\n", len(res.Directives))
+	return 0
+}
+
+// nonNil keeps JSON output stable: empty lists encode as [], not null.
+func nonNil[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
 }

@@ -1,13 +1,14 @@
 // Package analysis is a small static-analysis framework plus the custom
-// analyzers that turn this repository's determinism invariants into
-// machine-checked law. It deliberately mirrors the golang.org/x/tools
-// go/analysis API (Analyzer, Pass, Diagnostic) so the analyzers can be
-// ported to the upstream multichecker verbatim if the dependency ever
-// becomes available; the module itself is dependency-free, so the framework
-// is built on the standard library only: packages are loaded with
-// `go list -export` and type-checked against compiler export data.
+// analyzers that turn this repository's determinism and lifecycle
+// invariants into machine-checked law. It deliberately mirrors the
+// golang.org/x/tools go/analysis API (Analyzer, Pass, Diagnostic) so the
+// analyzers can be ported to the upstream multichecker verbatim if the
+// dependency ever becomes available; the module itself is dependency-free,
+// so the framework is built on the standard library only: packages are
+// loaded with `go list -export` and type-checked against compiler export
+// data.
 //
-// Three analyzers are defined:
+// The determinism suite (PR 1):
 //
 //   - mapiter:   flags `range` over a map in simulation/routing packages.
 //     Go randomizes map iteration per run, so any map range that feeds an
@@ -26,6 +27,40 @@
 //     anything written after initialization would race under a future
 //     parallel-replica runner. State belongs on the engine or instance;
 //     `//f2tree:sharedstate <reason>` is the audited escape hatch.
+//
+// The contract/lifecycle suite (this PR) machine-checks the object-pool,
+// hot-path and cache-epoch contracts the zero-allocation core introduced:
+//
+//   - poolcheck:    a pooled value (network.Packet, the netEvent in-flight
+//     records, sim's heap items — any type marked `//f2tree:pooled`)
+//     received by a callback must not be retained past the call. Stores
+//     into fields, slices, maps, closures or channels are flagged unless
+//     the line carries `//f2tree:retained <reason>` — the audited
+//     ownership-transfer points.
+//
+//   - hotpathalloc: functions marked `//f2tree:hotpath` must stay
+//     allocation-free in steady state: no closure creation, no interface
+//     boxing of non-pointer values, no append without a preallocated
+//     capacity, no string concatenation, no calls to same-package
+//     allocating helpers that are not themselves hotpath. The audited
+//     escape hatch (amortized growth, cold paths) is
+//     `//f2tree:alloc <reason>`.
+//
+//   - epochcheck:   every mutation of an `//f2tree:epochguarded` field
+//     (fib route state, network port-usability state) must be followed by
+//     an epoch bump — `//f2tree:epoch` field increment or an
+//     InvalidateFlowCache / `//f2tree:epochbump` call — on every return
+//     path, checked by intraprocedural dataflow. Escape hatch:
+//     `//f2tree:noepoch <reason>`.
+//
+//   - handlecheck:  a sim.Handle must not be used after it was passed to
+//     Cancel (reassignment revives it) and must not cross a goroutine
+//     boundary. Escape hatch: `//f2tree:handle <reason>`.
+//
+// Suppression directives are themselves audited: the Audit entry point
+// inventories every `//f2tree:` directive and reports suppressions whose
+// line no longer triggers the analyzer they silence (stale suppressions),
+// so annotations cannot outlive the code they were written for.
 package analysis
 
 import (
@@ -55,6 +90,13 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report receives each diagnostic as it is found.
 	Report func(Diagnostic)
+	// KeepSuppressed makes ReportSuppressible emit findings covered by a
+	// directive too, marked Suppressed — the audit mode that lets the
+	// driver prove a directive still silences something.
+	KeepSuppressed bool
+
+	// dirs caches each file's directive lines.
+	dirs map[*ast.File]map[int]string
 }
 
 // Diagnostic is one finding.
@@ -62,11 +104,57 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Verb is the suppression-directive verb that can silence this finding
+	// ("unordered", "retained", ...); empty for unsuppressible findings.
+	Verb string
+	// Suppressed marks a finding covered by a directive, reported only in
+	// KeepSuppressed (audit) mode.
+	Suppressed bool
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// fileDirectives returns file's directive-line index, cached per pass.
+func (p *Pass) fileDirectives(file *ast.File) map[int]string {
+	if d, ok := p.dirs[file]; ok {
+		return d
+	}
+	if p.dirs == nil {
+		p.dirs = make(map[*ast.File]map[int]string)
+	}
+	d := directiveLines(p.Fset, file)
+	p.dirs[file] = d
+	return d
+}
+
+// ReportSuppressible reports a finding that `//f2tree:<verb> <reason>` can
+// silence. A covered finding is dropped, unless the pass runs in
+// KeepSuppressed (audit) mode, where it is emitted with Suppressed set so
+// the auditor can tell live directives from stale ones.
+func (p *Pass) ReportSuppressible(file *ast.File, pos token.Pos, verb, format string, args ...any) {
+	d := Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+		Verb:     verb,
+	}
+	if suppressed(p.fileDirectives(file), p.Fset, pos, verb) {
+		if !p.KeepSuppressed {
+			return
+		}
+		d.Suppressed = true
+	}
+	p.Report(d)
+}
+
+// marked reports whether a `//f2tree:<verb>` marker directive covers the
+// node at pos (same placement rule as suppressions: the node's line or the
+// line above, so a marker can end a doc comment).
+func (p *Pass) marked(file *ast.File, pos token.Pos, verb string) bool {
+	return suppressed(p.fileDirectives(file), p.Fset, pos, verb)
 }
 
 // directivePrefix introduces all in-source analyzer directives.

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// handleTypePath identifies the scheduler handle type whose lifecycle the
+// analyzer enforces.
+const handleTypePath = "repro/internal/sim.Handle"
+
+// HandleCheck enforces the scheduler-handle lifecycle. A sim.Handle is a
+// generation-counted ticket for one pending event; Cancel consumes it.
+// Because the underlying heap item is pooled and reused, a handle kept
+// around after Cancel is at best a stale no-op and at worst (after the
+// generation counter laps) cancels someone else's event. And a Handle is
+// only meaningful on the single goroutine driving the simulator, so one
+// crossing into a `go` statement or a channel is a determinism hole.
+//
+// Within each function the analyzer tracks handle-typed variables and
+// one-level field selectors (c.rtxTimer). After `s.Cancel(h)` the handle
+// is dead: any later read of it in straight-line code is flagged until a
+// reassignment revives it (the armTimer cancel-then-rearm idiom stays
+// silent). Handles referenced inside `go` statements or sent on channels
+// are flagged unconditionally. Branch bodies are checked internally but
+// merge optimistically, so a cancel on one arm never poisons code after
+// the branch. The escape hatch for deliberate patterns is
+// `//f2tree:handle <reason>`.
+var HandleCheck = &Analyzer{
+	Name: "handlecheck",
+	Doc:  "flags sim.Handle values used after Cancel or passed across goroutines",
+	Run:  runHandleCheck,
+}
+
+func runHandleCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hc := &handleChecker{pass: pass, file: file}
+			hc.walkStmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// isHandleType reports whether t is sim.Handle.
+func isHandleType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return false
+	}
+	return tn.Pkg().Path()+"."+tn.Name() == handleTypePath
+}
+
+type handleChecker struct {
+	pass *Pass
+	file *ast.File
+}
+
+// handleKey names a tracked handle expression: a plain identifier or a
+// one-level field selector rooted at an identifier. Deeper paths are not
+// tracked (conservatively assumed alive).
+func (hc *handleChecker) handleKey(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := objectOf(hc.pass, x)
+		if obj == nil || !isHandleType(obj.Type()) {
+			return "", false
+		}
+		return fmt.Sprintf("%p", obj), true
+	case *ast.SelectorExpr:
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		baseObj := objectOf(hc.pass, base)
+		fieldObj := hc.pass.TypesInfo.Uses[x.Sel]
+		if baseObj == nil || fieldObj == nil || !isHandleType(fieldObj.Type()) {
+			return "", false
+		}
+		return fmt.Sprintf("%p.%p", baseObj, fieldObj), true
+	}
+	return "", false
+}
+
+// walkStmts runs the sequential dead-handle analysis over a statement
+// list. dead is mutated in place for straight-line flow; branch bodies
+// get a copy so a cancel inside one arm does not leak past the branch.
+func (hc *handleChecker) walkStmts(stmts []ast.Stmt, dead map[string]bool) {
+	for _, st := range stmts {
+		hc.walkStmt(st, dead)
+	}
+}
+
+func copyDead(dead map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(dead))
+	for k, v := range dead {
+		out[k] = v
+	}
+	return out
+}
+
+func (hc *handleChecker) walkStmt(st ast.Stmt, dead map[string]bool) {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		hc.walkStmts(x.List, dead)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			hc.walkStmt(x.Init, dead)
+		}
+		hc.checkUses(x.Cond, dead)
+		hc.walkStmts(x.Body.List, copyDead(dead))
+		if x.Else != nil {
+			hc.walkStmt(x.Else, copyDead(dead))
+		}
+	case *ast.ForStmt:
+		inner := copyDead(dead)
+		if x.Init != nil {
+			hc.walkStmt(x.Init, inner)
+		}
+		if x.Cond != nil {
+			hc.checkUses(x.Cond, inner)
+		}
+		hc.walkStmts(x.Body.List, inner)
+		if x.Post != nil {
+			hc.walkStmt(x.Post, inner)
+		}
+	case *ast.RangeStmt:
+		hc.checkUses(x.X, dead)
+		hc.walkStmts(x.Body.List, copyDead(dead))
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			hc.walkStmt(x.Init, dead)
+		}
+		if x.Tag != nil {
+			hc.checkUses(x.Tag, dead)
+		}
+		for _, c := range x.Body.List {
+			hc.walkStmts(c.(*ast.CaseClause).Body, copyDead(dead))
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			hc.walkStmt(x.Init, dead)
+		}
+		for _, c := range x.Body.List {
+			hc.walkStmts(c.(*ast.CaseClause).Body, copyDead(dead))
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := copyDead(dead)
+			if cc.Comm != nil {
+				hc.walkStmt(cc.Comm, inner)
+			}
+			hc.walkStmts(cc.Body, inner)
+		}
+	case *ast.LabeledStmt:
+		hc.walkStmt(x.Stmt, dead)
+	case *ast.GoStmt:
+		hc.checkGoroutine(x)
+	case *ast.SendStmt:
+		hc.checkUses(x.Chan, dead)
+		hc.checkUses(x.Value, dead)
+		if _, ok := hc.handleKey(x.Value); ok {
+			hc.pass.ReportSuppressible(hc.file, x.Value.Pos(), VerbHandle,
+				"sim.Handle sent on a channel crosses goroutines; handles are only meaningful on the simulator's driving goroutine — annotate //f2tree:handle <reason> if deliberate")
+		}
+	case *ast.AssignStmt:
+		// RHS reads first, then LHS writes revive.
+		for _, rhs := range x.Rhs {
+			hc.checkUses(rhs, dead)
+			hc.applyCancels(rhs, dead)
+		}
+		for _, lhs := range x.Lhs {
+			if key, ok := hc.handleKey(lhs); ok {
+				delete(dead, key)
+			} else {
+				// Writes through untracked lvalues still read their index
+				// expressions etc.
+				hc.checkUses(lhs, dead)
+			}
+		}
+	case *ast.DeclStmt:
+		hc.checkUsesNode(x, dead)
+	case *ast.ExprStmt:
+		hc.checkUses(x.X, dead)
+		hc.applyCancels(x.X, dead)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			hc.checkUses(r, dead)
+		}
+	case *ast.DeferStmt:
+		hc.checkUses(x.Call, dead)
+	case *ast.IncDecStmt:
+		hc.checkUses(x.X, dead)
+	}
+}
+
+// applyCancels marks handles passed to a Cancel call as dead.
+func (hc *handleChecker) applyCancels(e ast.Expr, dead map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Cancel" || len(call.Args) != 1 {
+			return true
+		}
+		if key, ok := hc.handleKey(call.Args[0]); ok {
+			dead[key] = true
+		}
+		return true
+	})
+}
+
+// checkUses flags reads of dead handles inside an expression. The
+// argument of a Cancel call itself is exempt (that is the kill site, and
+// double-cancel is reported on the second call because the first already
+// marked it dead — so the exemption only skips the very call doing the
+// killing when the handle is still live).
+func (hc *handleChecker) checkUses(e ast.Expr, dead map[string]bool) {
+	if e == nil {
+		return
+	}
+	hc.checkUsesNode(e, dead)
+}
+
+func (hc *handleChecker) checkUsesNode(root ast.Node, dead map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure body has its own timeline; handled when it runs.
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		key, isHandle := hc.handleKey(e)
+		if !isHandle || !dead[key] {
+			// Keep descending: c.rtxTimer's base ident is not a handle,
+			// and nested expressions may contain tracked selectors.
+			return true
+		}
+		hc.pass.ReportSuppressible(hc.file, e.Pos(), VerbHandle,
+			"sim.Handle used after Cancel; the pooled event slot may have been reused — re-arm (assign a fresh handle) before using it, or annotate //f2tree:handle <reason>")
+		return false
+	})
+}
+
+// checkGoroutine flags handle-typed values entering a go statement,
+// either as call arguments or captured by the goroutine's closure.
+func (hc *handleChecker) checkGoroutine(g *ast.GoStmt) {
+	report := func(pos ast.Expr) {
+		hc.pass.ReportSuppressible(hc.file, pos.Pos(), VerbHandle,
+			"sim.Handle passed into a goroutine; handles are only meaningful on the simulator's driving goroutine — annotate //f2tree:handle <reason> if deliberate")
+	}
+	for _, arg := range g.Call.Args {
+		if t := hc.pass.TypesInfo.TypeOf(arg); t != nil && isHandleType(t) {
+			report(arg)
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if _, isKey := hc.handleKey(e); isKey {
+				report(e)
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc keeps `//f2tree:hotpath`-marked functions allocation-free
+// in steady state. The zero-allocation event core and forwarding path (PR
+// 3) are load-bearing for the fig4 speedup; this analyzer is what stops a
+// future edit from quietly reintroducing a closure or a boxed value per
+// packet. Inside a hotpath function it flags:
+//
+//   - closure creation (every func literal allocates),
+//   - interface boxing of a non-pointer value: an argument of basic,
+//     struct, array or slice type passed to an interface parameter or
+//     converted to an interface (pointers, maps, channels and funcs are
+//     pointer-shaped and box for free),
+//   - append whose destination is not a local slice with preallocated
+//     capacity (make with an explicit cap, or a slice of a fixed-size
+//     scratch array),
+//   - string concatenation,
+//   - calls to same-package helpers that allocate (make/new/append/
+//     closure/concat/map-or-slice literal in their body) without being
+//     hotpath themselves — hotpath callees are checked directly, and
+//     cross-package calls are out of an intraprocedural analyzer's reach.
+//
+// Amortized growth (a pool's own free list, the event heap) and genuinely
+// cold branches inside hot functions are annotated `//f2tree:alloc
+// <reason>` — the audited, reviewable exceptions.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbids allocation (closures, boxing, unpreallocated append, string concat, allocating helpers) in //f2tree:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+// hotFnInfo is the per-function summary the allocating-helper rule needs.
+type hotFnInfo struct {
+	hotpath   bool
+	allocates bool
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	// Pass 1: classify every function declaration — hotpath marker and a
+	// syntactic "allocates" summary.
+	info := make(map[*types.Func]hotFnInfo)
+	type hotFn struct {
+		file *ast.File
+		decl *ast.FuncDecl
+	}
+	var hot []hotFn
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := hotFnInfo{
+				hotpath:   pass.marked(file, fd.Pos(), VerbHotPath),
+				allocates: bodyAllocates(pass, fd.Body),
+			}
+			info[obj] = fi
+			if fi.hotpath {
+				hot = append(hot, hotFn{file, fd})
+			}
+		}
+	}
+
+	// Pass 2: check each hotpath function body.
+	for _, h := range hot {
+		checkHotPathBody(pass, h.file, h.decl, info)
+	}
+	return nil
+}
+
+// bodyAllocates reports whether a function body contains a syntactic
+// allocation: make, new, append, a func literal, string concatenation, or
+// a map/slice composite literal. Struct literals are excluded — they live
+// on the stack unless they escape, and flagging them would mark nearly
+// every helper.
+func bodyAllocates(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && isBuiltin(pass, id) {
+				switch id.Name {
+				case "make", "new", "append":
+					found = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(pass.TypesInfo.TypeOf(x.X)) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(pass.TypesInfo.TypeOf(x.Lhs[0])) {
+				found = true
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(x).Underlying().(type) {
+			case *types.Map, *types.Slice:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkHotPathBody flags the banned constructs inside one hotpath function.
+func checkHotPathBody(pass *Pass, file *ast.File, fd *ast.FuncDecl, info map[*types.Func]hotFnInfo) {
+	// preallocated tracks local slices proven to have reserved capacity:
+	// make with an explicit cap, a slice expression over an array, or an
+	// alias of either.
+	preallocated := make(map[types.Object]bool)
+
+	markPrealloc := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := objectOf(pass, id)
+		if obj == nil {
+			return
+		}
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			if fid, ok := r.Fun.(*ast.Ident); ok && isBuiltin(pass, fid) && fid.Name == "make" && len(r.Args) == 3 {
+				preallocated[obj] = true
+			}
+			// x = append(x, ...) keeps x's preallocated status.
+			if fid, ok := r.Fun.(*ast.Ident); ok && isBuiltin(pass, fid) && fid.Name == "append" && len(r.Args) > 0 {
+				if root := rootIdent(r.Args[0]); root != nil {
+					if ro := pass.TypesInfo.Uses[root]; ro != nil && preallocated[ro] {
+						preallocated[obj] = true
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			// scratch[:0] over a fixed-size array (or pointer to one).
+			t := pass.TypesInfo.TypeOf(r.X)
+			if t != nil {
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if _, ok := t.Underlying().(*types.Array); ok {
+					preallocated[obj] = true
+				}
+			}
+			// Re-slicing an already preallocated local keeps the status.
+			if root := rootIdent(r.X); root != nil {
+				if ro := pass.TypesInfo.Uses[root]; ro != nil && preallocated[ro] {
+					preallocated[obj] = true
+				}
+			}
+		case *ast.Ident:
+			if ro := pass.TypesInfo.Uses[r]; ro != nil && preallocated[ro] {
+				preallocated[obj] = true
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.ReportSuppressible(file, x.Pos(), VerbAlloc,
+				"closure created in hotpath function %s; use a package-level func plus an AtArg/AfterArg-style argument record, or annotate //f2tree:alloc <reason>",
+				fd.Name.Name)
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					markPrealloc(x.Lhs[i], x.Rhs[i])
+					reportBoxingStore(pass, file, fd, x.Lhs[i], x.Rhs[i])
+				}
+			}
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(pass.TypesInfo.TypeOf(x.Lhs[0])) {
+				pass.ReportSuppressible(file, x.Pos(), VerbAlloc,
+					"string concatenation in hotpath function %s allocates; annotate //f2tree:alloc <reason> if this branch is cold",
+					fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(pass.TypesInfo.TypeOf(x.X)) {
+				pass.ReportSuppressible(file, x.Pos(), VerbAlloc,
+					"string concatenation in hotpath function %s allocates; annotate //f2tree:alloc <reason> if this branch is cold",
+					fd.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				for _, v := range x.Values {
+					reportBoxingStore(pass, file, fd, x.Type, v)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotPathCall(pass, file, fd, x, info, preallocated)
+		}
+		return true
+	})
+}
+
+// reportBoxingStore flags `dst = src` (or `var dst I = src`) where the
+// destination has interface type and the source value boxes. A `:=` never
+// boxes — the variable takes the concrete type.
+func reportBoxingStore(pass *Pass, file *ast.File, fd *ast.FuncDecl, dst, src ast.Expr) {
+	dt := pass.TypesInfo.TypeOf(dst)
+	if dt == nil {
+		return
+	}
+	if _, isIface := dt.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	st := pass.TypesInfo.TypeOf(src)
+	if st == nil || !boxes(st) {
+		return
+	}
+	pass.ReportSuppressible(file, src.Pos(), VerbAlloc,
+		"assignment boxes a non-pointer %s into an interface in hotpath function %s; pass a pointer or annotate //f2tree:alloc <reason>",
+		st.String(), fd.Name.Name)
+}
+
+// checkHotPathCall applies the append, boxing and allocating-helper rules
+// to one call site.
+func checkHotPathCall(pass *Pass, file *ast.File, fd *ast.FuncDecl, call *ast.CallExpr, info map[*types.Func]hotFnInfo, preallocated map[types.Object]bool) {
+	// Builtin append: destination must be preallocated.
+	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(pass, id) {
+		if id.Name == "append" && len(call.Args) > 0 {
+			ok := false
+			if root := rootIdent(call.Args[0]); root != nil {
+				if ro := pass.TypesInfo.Uses[root]; ro != nil && preallocated[ro] {
+					ok = true
+				}
+			}
+			if !ok {
+				pass.ReportSuppressible(file, call.Pos(), VerbAlloc,
+					"append without preallocated capacity in hotpath function %s may grow per call; preallocate (make with cap, array scratch) or annotate //f2tree:alloc <reason> for amortized growth",
+					fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	// Conversion to an interface type: T(x) where T is an interface.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if boxes(pass.TypesInfo.TypeOf(call.Args[0])) {
+				pass.ReportSuppressible(file, call.Args[0].Pos(), VerbAlloc,
+					"conversion boxes a non-pointer value into an interface in hotpath function %s; pass a pointer or annotate //f2tree:alloc <reason>",
+					fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	// Interface-typed parameters receiving non-pointer concrete arguments.
+	// A `f(xs...)` spread passes the slice itself, so it is skipped.
+	if sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok && sig != nil && !call.Ellipsis.IsValid() {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if pt == nil {
+				continue
+			}
+			if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+				continue
+			}
+			at := pass.TypesInfo.TypeOf(arg)
+			if at == nil || !boxes(at) {
+				continue
+			}
+			pass.ReportSuppressible(file, arg.Pos(), VerbAlloc,
+				"argument boxes a non-pointer %s into an interface parameter in hotpath function %s; pass a pointer (pooled record) or annotate //f2tree:alloc <reason>",
+				at.String(), fd.Name.Name)
+		}
+	}
+
+	// Same-package callee: must be hotpath or non-allocating.
+	var calleeObj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		calleeObj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		calleeObj = pass.TypesInfo.Uses[f.Sel]
+	}
+	if fn, ok := calleeObj.(*types.Func); ok {
+		if fi, known := info[fn]; known && !fi.hotpath && fi.allocates {
+			pass.ReportSuppressible(file, call.Pos(), VerbAlloc,
+				"hotpath function %s calls %s, which allocates and is not marked //f2tree:hotpath; mark and fix the callee or annotate //f2tree:alloc <reason>",
+				fd.Name.Name, fn.Name())
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: basic types (including string), structs, arrays and slices
+// do; pointers, maps, channels, funcs, interfaces and unsafe pointers are
+// single-word pointer-shaped values that do not.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLoadReportsSyntaxError: a package that does not parse must surface
+// as a Load error, not be silently skipped.
+func TestLoadReportsSyntaxError(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module badfixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), "package bad\n\nfunc {\n")
+	_, err := analysis.Load(dir, "./...")
+	if err == nil {
+		t.Fatalf("Load succeeded on a package with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "analysis:") {
+		t.Errorf("error should carry the analysis: prefix, got %q", err)
+	}
+}
+
+// TestLoadReportsMissingPackage: a pattern matching a nonexistent
+// directory is an error.
+func TestLoadReportsMissingPackage(t *testing.T) {
+	_, err := analysis.Load(".", "./this-directory-does-not-exist")
+	if err == nil {
+		t.Fatalf("Load succeeded on a nonexistent package pattern")
+	}
+}
+
+// TestLoadBadWorkingDir: an unusable working directory fails the go list
+// invocation itself and is reported as such.
+func TestLoadBadWorkingDir(t *testing.T) {
+	_, err := analysis.Load(filepath.Join(t.TempDir(), "missing-subdir"))
+	if err == nil {
+		t.Fatalf("Load succeeded with a nonexistent working directory")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error should mention the failed go list run, got %q", err)
+	}
+}
+
+// TestCheckMissingExportData: type-checking against an importer with no
+// export data for a needed dependency must fail loudly.
+func TestCheckMissingExportData(t *testing.T) {
+	fset := token.NewFileSet()
+	const src = "package p\n\nimport \"fmt\"\n\nvar _ = fmt.Sprint\n"
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	imp := analysis.ExportDataImporter(fset, map[string]string{})
+	_, _, err = analysis.Check("p", fset, []*ast.File{f}, imp)
+	if err == nil {
+		t.Fatalf("Check succeeded without export data for fmt")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error should mention missing export data, got %q", err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+}

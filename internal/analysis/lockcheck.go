@@ -110,18 +110,15 @@ func runLockCheck(pass *Pass) error {
 		if !written[obj] {
 			continue
 		}
-		dirs := directiveLines(pass.Fset, d.file)
-		if suppressed(dirs, pass.Fset, d.ident.Pos(), "sharedstate") {
-			continue
-		}
-		pass.Reportf(d.ident.Pos(),
+		pass.ReportSuppressible(d.file, d.ident.Pos(), VerbSharedState,
 			"package-level variable %s is written after initialization and would race under a parallel-replica runner; move it onto the owning engine/instance or annotate //f2tree:sharedstate <reason>",
 			d.ident.Name)
 	}
 	return nil
 }
 
-// Analyzers returns every determinism analyzer in a stable order.
+// Analyzers returns every analyzer — determinism and contract/lifecycle —
+// in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, MapIter, SimClock}
+	return []*Analyzer{EpochCheck, HandleCheck, HotPathAlloc, LockCheck, MapIter, PoolCheck, SimClock}
 }

@@ -29,7 +29,6 @@ var MapIter = &Analyzer{
 
 func runMapIter(pass *Pass) error {
 	for _, file := range pass.Files {
-		dirs := directiveLines(pass.Fset, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -42,10 +41,7 @@ func runMapIter(pass *Pass) error {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if suppressed(dirs, pass.Fset, rng.Pos(), "unordered") {
-				return true
-			}
-			pass.Reportf(rng.Pos(),
+			pass.ReportSuppressible(file, rng.Pos(), VerbUnordered,
 				"range over map %s iterates in randomized order; iterate detsort.Keys/KeysFunc, or annotate //f2tree:unordered <reason> if the body is order-insensitive",
 				typeLabel(rng.X, tv.Type))
 			return true

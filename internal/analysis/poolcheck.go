@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pooledTypePaths are pooled types known across package boundaries (the
+// analyzer sees one package's AST at a time, so cross-package callbacks —
+// a transport receiving *network.Packet — need the qualified list). Types
+// private to the analyzed package are marked `//f2tree:pooled` on their
+// declaration instead.
+var pooledTypePaths = map[string]bool{
+	"repro/internal/network.Packet": true,
+}
+
+// PoolCheck enforces the object-pool retention contract: a pooled value —
+// a *network.Packet delivered to a receiver or drop observer, a netEvent
+// in-flight record, a sim heap item — is recycled the moment its callback
+// returns, so the callback must not store it anywhere that outlives the
+// call. The analyzer tracks, per function, every parameter of
+// pointer-to-pooled type (plus locals derived from them by alias or type
+// assertion, which covers the `arg any` ArgEvent dispatch pattern) and
+// flags:
+//
+//   - stores into struct fields, slice/map elements or dereferenced
+//     pointers,
+//   - append of a pooled value onto any slice,
+//   - pooled values placed in composite literals,
+//   - capture by a function literal (the closure may run later),
+//   - sends on a channel (another goroutine, another lifetime).
+//
+// The deliberate ownership-transfer points — the pool's own free list,
+// handing a packet to the scheduler inside an in-flight record — are the
+// audited escape hatch: `//f2tree:retained <reason>` on the line.
+//
+// The analysis is intraprocedural and parameter-rooted on purpose: passing
+// a pooled value down the synchronous call chain (forward → transmit →
+// drop) is the normal, safe pattern and stays silent.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "flags retention of pooled values (network.Packet, event records) beyond the delivery/dispatch callback",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	pooled := pooledTypes(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkPoolFunc(pass, file, fn.Type, fn.Body, pooled)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pooledTypes collects the named types whose pointers the analyzer tracks:
+// the cross-package registry plus in-package types marked //f2tree:pooled.
+func pooledTypes(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if pass.marked(file, ts.Pos(), VerbPooled) || pass.marked(file, gd.Pos(), VerbPooled) {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isPooledPtr reports whether t is a pointer to a tracked pooled type.
+func isPooledPtr(t types.Type, pooled map[*types.TypeName]bool) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	if pooled[tn] {
+		return true
+	}
+	if tn.Pkg() == nil {
+		return false
+	}
+	return pooledTypePaths[tn.Pkg().Path()+"."+tn.Name()]
+}
+
+// checkPoolFunc analyzes one function body. Nested function literals are
+// visited as part of the body walk: a tracked value referenced inside one
+// is a capture finding, and the literal's own pooled parameters start
+// their own tracked set (handled by the recursive FuncLit case).
+func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.BlockStmt, pooled map[*types.TypeName]bool) {
+	tracked := make(map[types.Object]bool)
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && isPooledPtr(obj.Type(), pooled) {
+					tracked[obj] = true
+				}
+			}
+		}
+	}
+	// anyParams lets a type assertion of an `any` parameter to a pooled
+	// pointer start tracking — the ArgEvent dispatch pattern.
+	anyParams := make(map[types.Object]bool)
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isIface := obj.Type().Underlying().(*types.Interface); isIface {
+					anyParams[obj] = true
+				}
+			}
+		}
+	}
+
+	usesTracked := func(e ast.Expr) *ast.Ident {
+		var found *ast.Ident
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n.(type) {
+			// Do not look through closures, calls or composite literals:
+			// capture, hand-down-the-call-chain and literal placement each
+			// have their own rule (or are deliberately silent), and the
+			// value they produce is not the tracked pointer itself.
+			case *ast.FuncLit, *ast.CallExpr, *ast.CompositeLit:
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
+					found = id
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Capture check: any tracked value referenced inside escapes
+			// into the closure's lifetime.
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
+						pass.ReportSuppressible(file, id.Pos(), VerbRetained,
+							"pooled %s is captured by a closure and may outlive its callback; copy what you need or annotate //f2tree:retained <reason>",
+							id.Name)
+					}
+				}
+				return true
+			})
+			// The literal's own pooled params get a fresh analysis.
+			checkPoolFunc(pass, file, x.Type, x.Body, pooled)
+			return false
+		case *ast.AssignStmt:
+			// Pair LHS/RHS positionally where possible; a multi-value RHS
+			// (call, type assert) applies to every LHS.
+			for i, rhs := range x.Rhs {
+				id := usesTracked(rhs)
+				targets := x.Lhs
+				if len(x.Lhs) == len(x.Rhs) {
+					targets = x.Lhs[i : i+1]
+				}
+				for _, lhs := range targets {
+					lhsIdent, isIdent := lhs.(*ast.Ident)
+					// Only a stored value whose type is the pooled pointer
+					// itself retains the record; copying a field out of it
+					// (seg := Segment{seq: pkt.Seq}) is the recommended
+					// pattern and stays silent.
+					if id != nil && !isPooledPtr(pass.TypesInfo.TypeOf(rhs), pooled) {
+						id = nil
+					}
+					if isIdent {
+						// Plain variable: an alias, tracked transitively;
+						// never a retention.
+						if id != nil {
+							if obj := objectOf(pass, lhsIdent); obj != nil {
+								tracked[obj] = true
+							}
+						}
+						continue
+					}
+					if id != nil {
+						pass.ReportSuppressible(file, x.Pos(), VerbRetained,
+							"pooled %s is stored into %s and may outlive its callback; the pool recycles it on delivery/drop — copy what you need or annotate //f2tree:retained <reason>",
+							id.Name, lvalueLabel(lhs))
+					}
+				}
+				// Type assertion of an interface param to a pooled pointer
+				// starts tracking the asserted value (the ArgEvent dispatch
+				// pattern: ev, ok := arg.(*netEvent)).
+				if ta, ok := rhs.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+					root := rootIdent(ta.X)
+					if root == nil {
+						continue
+					}
+					obj := pass.TypesInfo.Uses[root]
+					if obj == nil || !anyParams[obj] {
+						continue
+					}
+					if !isPooledPtr(pass.TypesInfo.TypeOf(ta.Type), pooled) {
+						continue
+					}
+					if li, ok := targets[0].(*ast.Ident); ok {
+						if o := objectOf(pass, li); o != nil {
+							tracked[o] = true
+						}
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if pass.TypesInfo.Uses[id] == nil || isBuiltin(pass, id) {
+					for _, arg := range x.Args[min(1, len(x.Args)):] {
+						if !isPooledPtr(pass.TypesInfo.TypeOf(arg), pooled) {
+							continue
+						}
+						if tid := usesTracked(arg); tid != nil {
+							pass.ReportSuppressible(file, x.Pos(), VerbRetained,
+								"pooled %s is appended to a slice and may outlive its callback; annotate //f2tree:retained <reason> if this is the pool itself",
+								tid.Name)
+						}
+					}
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if !isPooledPtr(pass.TypesInfo.TypeOf(e), pooled) {
+					continue
+				}
+				if tid := usesTracked(e); tid != nil {
+					pass.ReportSuppressible(file, e.Pos(), VerbRetained,
+						"pooled %s is placed in a composite literal and may outlive its callback; annotate //f2tree:retained <reason> at audited hand-off points",
+						tid.Name)
+				}
+			}
+			return true
+		case *ast.SendStmt:
+			if !isPooledPtr(pass.TypesInfo.TypeOf(x.Value), pooled) {
+				return true
+			}
+			if tid := usesTracked(x.Value); tid != nil {
+				pass.ReportSuppressible(file, x.Pos(), VerbRetained,
+					"pooled %s is sent on a channel, crossing into another lifetime; annotate //f2tree:retained <reason> if ownership genuinely transfers",
+					tid.Name)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// objectOf resolves an identifier to its object, whether it defines or
+// uses it (:= vs =).
+func objectOf(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isBuiltin reports whether the identifier resolves to a builtin.
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// lvalueLabel renders a short label for a store target.
+func lvalueLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if root := rootIdent(x); root != nil {
+			return "field " + root.Name + "." + x.Sel.Name
+		}
+		return "a field"
+	case *ast.IndexExpr:
+		if root := rootIdent(x); root != nil {
+			return "element of " + root.Name
+		}
+		return "a slice/map element"
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	}
+	return "a non-local location"
+}

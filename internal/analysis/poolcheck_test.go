@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analyzertest.Run(t, analysis.PoolCheck, fixture("poolcheck"))
+}

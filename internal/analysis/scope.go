@@ -3,11 +3,13 @@ package analysis
 import "slices"
 
 // scopedPackages are the import paths whose code must uphold the
-// determinism invariants: the discrete-event engine, every routing/control
-// plane, the data plane, the failure injector, the topology model, and the
-// sorted-iteration helper package itself. The analyzers run only on these
-// (the driver applies the filter), so CLI front ends and report formatters
-// may use wall-clock time and unordered iteration freely.
+// determinism and lifecycle invariants: the discrete-event engine, every
+// routing/control plane, the data plane, the failure injector, the
+// topology model, the sorted-iteration helper package itself — and the
+// command front ends, which orchestrate simulations and write the traces
+// whose byte-identity the whole suite protects. Front-end code that
+// legitimately touches the wall clock or unordered iteration carries the
+// audited `//f2tree:` annotations instead of being exempted wholesale.
 var scopedPackages = map[string]bool{
 	"repro/internal/campaign":   true,
 	"repro/internal/sim":        true,
@@ -20,6 +22,13 @@ var scopedPackages = map[string]bool{
 	"repro/internal/failure":    true,
 	"repro/internal/topo":       true,
 	"repro/internal/detsort":    true,
+	"repro/cmd/f2tree-bench":    true,
+	"repro/cmd/f2tree-campaign": true,
+	"repro/cmd/f2tree-lab":      true,
+	"repro/cmd/f2tree-plan":     true,
+	"repro/cmd/f2tree-report":   true,
+	"repro/cmd/f2tree-sim":      true,
+	"repro/cmd/f2tree-vet":      true,
 }
 
 // InScope reports whether the determinism analyzers apply to the package.

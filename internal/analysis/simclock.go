@@ -55,7 +55,6 @@ var SimClock = &Analyzer{
 
 func runSimClock(pass *Pass) error {
 	for _, file := range pass.Files {
-		dirs := directiveLines(pass.Fset, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -72,10 +71,7 @@ func runSimClock(pass *Pass) error {
 			switch pkgName.Imported().Path() {
 			case "time":
 				if wallClockFuncs[sel.Sel.Name] {
-					if suppressed(dirs, pass.Fset, sel.Pos(), "wallclock") {
-						return true
-					}
-					pass.Reportf(sel.Pos(),
+					pass.ReportSuppressible(file, sel.Pos(), VerbWallClock,
 						"time.%s reads the wall clock; simulation code must use the virtual clock (sim.Simulator.Now/After)",
 						sel.Sel.Name)
 				}

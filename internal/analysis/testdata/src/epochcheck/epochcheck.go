@@ -1,0 +1,114 @@
+// Package fixture exercises the epochcheck analyzer: writes to
+// //f2tree:epochguarded state must be followed by a cache-epoch bump on
+// every return path.
+package fixture
+
+type table struct {
+	routes map[int]int //f2tree:epochguarded
+	count  int         //f2tree:epochguarded
+	epoch  uint64      //f2tree:epoch
+	hits   int         // unguarded: free to mutate
+}
+
+// InvalidateFlowCache is the cross-package bump recognized by name.
+func (t *table) InvalidateFlowCache() { t.epoch++ }
+
+// invalidate is the in-package bump helper, recognized by marker.
+//
+//f2tree:epochbump
+func (t *table) invalidate() { t.epoch++ }
+
+func (t *table) addGood(k, v int) {
+	t.routes[k] = v
+	t.count++
+	t.epoch++
+}
+
+func (t *table) addViaMethod(k, v int) {
+	t.routes[k] = v
+	t.InvalidateFlowCache()
+}
+
+func (t *table) addViaHelper(k, v int) {
+	t.routes[k] = v
+	t.invalidate()
+}
+
+func (t *table) addViaDefer(k, v int) {
+	defer t.invalidate()
+	t.routes[k] = v
+}
+
+func (t *table) addBad(k, v int) {
+	t.routes[k] = v // want `cache-epoch bump`
+}
+
+func (t *table) deleteBad(k int) {
+	delete(t.routes, k) // want `cache-epoch bump`
+}
+
+// earlyReturnBad bumps on the fall-through path but leaks the write
+// through the early return.
+func (t *table) earlyReturnBad(k, v int, cond bool) {
+	t.routes[k] = v // want `cache-epoch bump`
+	if cond {
+		return
+	}
+	t.epoch++
+}
+
+// branchGood bumps on both arms.
+func (t *table) branchGood(k, v int, cond bool) {
+	t.routes[k] = v
+	if cond {
+		t.epoch++
+		return
+	}
+	t.invalidate()
+}
+
+// loopGood writes per iteration and bumps once after the loop.
+func (t *table) loopGood(ks []int) {
+	for _, k := range ks {
+		t.routes[k] = 0
+	}
+	t.epoch++
+}
+
+// loopBad bumps before the write inside the body, so the last
+// iteration's write escapes unbumped.
+func (t *table) loopBad(ks []int) {
+	for _, k := range ks {
+		t.epoch++
+		t.routes[k] = 0 // want `cache-epoch bump`
+	}
+}
+
+// unguarded state needs no bump.
+func (t *table) observe() {
+	t.hits++
+}
+
+// newTable is construction: no cache can exist yet, the audited escape
+// hatch covers the whole function.
+//
+//f2tree:noepoch construction; no cache exists before the table is returned
+func newTable() *table {
+	t := &table{routes: make(map[int]int)}
+	t.routes[0] = 0
+	t.count = 1
+	return t
+}
+
+// annotatedWrite covers a single write instead of the whole function.
+func (t *table) annotatedWrite(k int) {
+	//f2tree:noepoch every caller bumps; split for testability
+	t.routes[k] = 0
+}
+
+// literals get their own flow.
+func (t *table) viaLiteral(k int) func() {
+	return func() {
+		t.routes[k] = 0 // want `cache-epoch bump`
+	}
+}

@@ -1,0 +1,67 @@
+// Package fixture exercises the handlecheck analyzer: sim.Handle values
+// used after Cancel or crossing goroutines are flagged; the
+// cancel-then-rearm idiom and branch-local cancels are not.
+package fixture
+
+import "repro/internal/sim"
+
+type timer struct {
+	s *sim.Simulator
+	h sim.Handle
+}
+
+func tick(now sim.Time) {}
+
+func (t *timer) useAfterCancel() {
+	t.s.Cancel(t.h)
+	_ = t.h.Active() // want `used after Cancel`
+}
+
+func (t *timer) doubleCancel() {
+	t.s.Cancel(t.h)
+	t.s.Cancel(t.h) // want `used after Cancel`
+}
+
+// rearm is the armTimer idiom: reassignment revives the handle.
+func (t *timer) rearm() {
+	t.s.Cancel(t.h)
+	t.h = t.s.At(5, tick)
+	_ = t.h.Active()
+}
+
+func localHandle(s *sim.Simulator) {
+	h := s.At(1, tick)
+	s.Cancel(h)
+	_ = h.Active() // want `used after Cancel`
+	h = s.At(2, tick)
+	_ = h.Active()
+}
+
+// branchCancel merges optimistically: a cancel on one arm does not
+// poison code after the branch.
+func (t *timer) branchCancel(cond bool) {
+	if cond {
+		t.s.Cancel(t.h)
+		return
+	}
+	_ = t.h.Active()
+}
+
+func goroutines(s *sim.Simulator, h sim.Handle) {
+	go leak(h) // want `passed into a goroutine`
+	go func() {
+		s.Cancel(h) // want `passed into a goroutine`
+	}()
+}
+
+func leak(h sim.Handle) {}
+
+func sendHandle(ch chan sim.Handle, h sim.Handle) {
+	ch <- h // want `sent on a channel crosses goroutines`
+}
+
+func (t *timer) annotated() {
+	t.s.Cancel(t.h)
+	//f2tree:handle Active is generation-checked, a stale query is safe here
+	_ = t.h.Active()
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the hotpathalloc analyzer: allocation inside
+// //f2tree:hotpath functions is flagged; preallocated scratch, pointer
+// hand-offs and non-hotpath helpers are not.
+package fixture
+
+type engine struct {
+	scratch [8]int
+	sink    func() int
+}
+
+//f2tree:hotpath
+func closures(e *engine, x int) {
+	e.sink = func() int { return x } // want `closure created in hotpath function closures`
+}
+
+//f2tree:hotpath
+func concat(a, b string) string {
+	s := a + b // want `string concatenation in hotpath function concat`
+	s += a // want `string concatenation in hotpath function concat`
+	return s
+}
+
+//f2tree:hotpath
+func appends(e *engine, xs []int, v int) []int {
+	xs = append(xs, v) // want `append without preallocated capacity in hotpath function appends`
+	pre := make([]int, 0, 8)
+	pre = append(pre, v)
+	live := e.scratch[:0]
+	live = append(live, v)
+	alias := live
+	alias = append(alias, v)
+	return append(pre, alias...)
+}
+
+//f2tree:hotpath
+func boxing(v int, p *engine) {
+	var i any = v // want `assignment boxes a non-pointer int into an interface`
+	i = p // pointers are interface-word sized: no boxing
+	_ = i
+	takesAny(v) // want `argument boxes a non-pointer int into an interface parameter`
+	takesAny(p)
+	takesVariadic(1, v) // want `argument boxes a non-pointer int into an interface parameter`
+	_ = any(v) // want `conversion boxes a non-pointer value into an interface`
+}
+
+func takesAny(arg any)                  { _ = arg }
+func takesVariadic(n int, args ...any)  { _, _ = n, args }
+
+// buildTable allocates and is not hotpath: calling it from a hotpath
+// function is the "allocating helper" finding.
+func buildTable() map[int]int { return map[int]int{} }
+
+// addOne neither allocates nor needs to be hotpath: calling it is fine.
+func addOne(x int) int { return x + 1 }
+
+//f2tree:hotpath
+func callees(x int) int {
+	m := buildTable() // want `hotpath function callees calls buildTable, which allocates`
+	_ = m
+	return addOne(x)
+}
+
+// coldPath is NOT marked hotpath, so any allocation inside is fine.
+func coldPath() []int {
+	out := make([]int, 0)
+	out = append(out, 1)
+	f := func() int { return 2 }
+	out = append(out, f())
+	return out
+}
+
+//f2tree:hotpath
+func annotated(e *engine, x int) {
+	e.sink = func() int { return x } //f2tree:alloc one-time arming, not steady state
+}

@@ -1,0 +1,79 @@
+// Package fixture exercises the poolcheck analyzer: pooled values that a
+// callback stores beyond its own frame are flagged; the synchronous
+// hand-down-the-call-chain pattern and explicit copies are not.
+package fixture
+
+import "repro/internal/network"
+
+// record plays the role of an in-package pooled type (like network's
+// netEvent): the marker below registers it with the analyzer.
+//
+//f2tree:pooled
+type record struct {
+	id  int
+	pkt *network.Packet
+}
+
+type sink struct {
+	last  *record
+	items []*record
+	byID  map[int]*record
+	ch    chan *record
+	lastP *network.Packet
+}
+
+// deliver is the callback shape the contract covers: its parameter is
+// recycled the moment it returns.
+func (s *sink) deliver(r *record) {
+	s.last = r                    // want `pooled r is stored into field s.last`
+	s.items = append(s.items, r)  // want `pooled r is appended to a slice`
+	s.byID[r.id] = r              // want `pooled r is stored into element of s`
+	_ = []*record{r}              // want `pooled r is placed in a composite literal`
+	s.ch <- r                     // want `pooled r is sent on a channel`
+	hold := func() int { return r.id } // want `pooled r is captured by a closure`
+	_ = hold
+}
+
+// aliases are tracked transitively.
+func (s *sink) aliased(r *record) {
+	r2 := r
+	s.last = r2 // want `pooled r2 is stored into field s.last`
+}
+
+// crossPackage: *network.Packet is pooled via the cross-package registry,
+// no marker needed.
+func (s *sink) onPacket(p *network.Packet) {
+	s.lastP = p // want `pooled p is stored into field s.lastP`
+}
+
+// dispatch is the ArgEvent pattern: a type assertion of an `any`
+// parameter to a pooled pointer starts tracking.
+func (s *sink) dispatch(arg any) {
+	r, ok := arg.(*record)
+	if !ok {
+		return
+	}
+	s.last = r // want `pooled r is stored into field s.last`
+}
+
+// negatives: passing down the synchronous call chain, reading fields and
+// copying values are the normal, silent patterns.
+func (s *sink) negatives(r *record) {
+	use(r)
+	_ = r.id
+	cp := *r
+	_ = cp
+	var local *record
+	local = r
+	use(local)
+}
+
+func use(*record) {}
+
+// annotated is the audited ownership-transfer escape hatch.
+func (s *sink) annotated(r *record) {
+	s.items = append(s.items, r) //f2tree:retained this slice is the pool's own free list
+	//f2tree:retained ownership transfers to the in-flight record
+	s.last = r
+	s.byID[r.id] = r // want `pooled r is stored into element of s`
+}

@@ -2,21 +2,32 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"sync"
 )
 
 // Store is the campaign's resumable result cache: an append-only JSONL
 // file with one Result per line, keyed by spec hash. Opening an existing
 // file loads its records, so a re-invoked campaign skips every spec whose
-// last record is ok and re-runs the rest; a half-written trailing line
-// (the campaign was killed mid-append) is ignored.
+// last record is ok and re-runs the rest. A half-written trailing line
+// (the campaign was killed mid-append) or a corrupt line elsewhere is
+// skipped with a warning — its spec simply re-runs — rather than failing
+// the resume or being dropped silently.
 type Store struct {
 	mu   sync.Mutex
 	f    *os.File
 	done map[string]Result // hash → latest ok record
+	// warnings records every line skipped while loading, for the caller to
+	// surface; an empty slice means the file was fully well-formed.
+	warnings []string
+	// needsNewline is set when the file ends mid-line: the next Append
+	// must start with a separator or it would extend the torn record.
+	needsNewline bool
 }
 
 // OpenStore opens (or creates) the JSONL store at path and indexes its
@@ -27,29 +38,64 @@ func OpenStore(path string) (*Store, error) {
 		return nil, fmt.Errorf("campaign: opening store: %w", err)
 	}
 	s := &Store{f: f, done: make(map[string]Result)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(f, 1<<20)
+	lineNo := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			terminated := line[len(line)-1] == '\n'
+			s.needsNewline = !terminated
+			if rec, ok := s.loadLine(line, lineNo, terminated); ok {
+				// Only ok records are indexed: a failed record never
+				// satisfies a resume (the spec re-runs), and a later
+				// failure does not invalidate an earlier success for the
+				// same hash.
+				if rec.Status == StatusOK && rec.Hash != "" {
+					s.done[rec.Hash] = rec
+				}
+			}
 		}
-		var r Result
-		if err := json.Unmarshal(line, &r); err != nil {
-			continue // torn tail line from an interrupted append
+		if rerr == io.EOF {
+			break
 		}
-		// Only ok records are indexed: a failed record never satisfies a
-		// resume (the spec re-runs), and a later failure does not
-		// invalidate an earlier success for the same hash.
-		if r.Status == StatusOK && r.Hash != "" {
-			s.done[r.Hash] = r
+		if rerr != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: reading store: %w", rerr)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("campaign: reading store: %w", err)
 	}
 	return s, nil
+}
+
+// loadLine parses one stored line. A parse failure on a newline-terminated
+// line is corruption; one on the final unterminated line is the expected
+// torn tail of an interrupted append.
+func (s *Store) loadLine(line []byte, lineNo int, terminated bool) (Result, bool) {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return Result{}, false
+	}
+	var rec Result
+	if err := json.Unmarshal(trimmed, &rec); err != nil {
+		if terminated {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("store line %d: skipping corrupt record (%v); its spec will re-run", lineNo, err))
+		} else {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("store line %d: skipping truncated final record (interrupted append); its spec will re-run", lineNo))
+		}
+		return Result{}, false
+	}
+	return rec, true
+}
+
+// Warnings returns the lines skipped while loading the store, in file
+// order. A non-empty result means the previous campaign was interrupted
+// mid-append (last entry) or the file was corrupted (earlier entries).
+func (s *Store) Warnings() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return slices.Clone(s.warnings)
 }
 
 // Completed returns the stored ok record for the spec hash, if any.
@@ -77,6 +123,14 @@ func (s *Store) Append(r Result) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.needsNewline {
+		// The file ends with a torn record: seal it with a separator so
+		// this append does not extend it into a second unreadable line.
+		if _, err := s.f.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+		s.needsNewline = false
+	}
 	if _, err := s.f.Write(append(b, '\n')); err != nil {
 		return err
 	}

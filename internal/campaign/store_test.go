@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStoreFile assembles a raw JSONL store from the given chunks,
+// verbatim — no newlines are added, so callers control line structure.
+func writeStoreFile(t *testing.T, chunks ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(chunks, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func okLine(t *testing.T, hash string) string {
+	t.Helper()
+	b, err := json.Marshal(Result{Hash: hash, Status: StatusOK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+func TestOpenStoreWarnsOnCorruptAndTruncatedLines(t *testing.T) {
+	path := writeStoreFile(t,
+		okLine(t, "aaaa"),
+		"{\"hash\": \"bbbb\", \"status\n", // interior corruption: terminated but unparsable
+		okLine(t, "cccc"),
+		`{"hash":"dddd","spec":{"kind":"recove`, // torn tail: no newline
+	)
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if st.Len() != 2 {
+		t.Errorf("store recovered %d runs, want 2 (aaaa, cccc)", st.Len())
+	}
+	if _, ok := st.Completed("aaaa"); !ok {
+		t.Error("record before the corrupt line lost")
+	}
+	if _, ok := st.Completed("cccc"); !ok {
+		t.Error("record after the corrupt line lost")
+	}
+	w := st.Warnings()
+	if len(w) != 2 {
+		t.Fatalf("Warnings() = %q, want 2 entries", w)
+	}
+	if !strings.Contains(w[0], "line 2") || !strings.Contains(w[0], "corrupt") {
+		t.Errorf("first warning %q should report corruption on line 2", w[0])
+	}
+	if !strings.Contains(w[1], "line 4") || !strings.Contains(w[1], "truncated") {
+		t.Errorf("second warning %q should report the truncated final line", w[1])
+	}
+}
+
+func TestOpenStoreCleanFileHasNoWarnings(t *testing.T) {
+	path := writeStoreFile(t, okLine(t, "aaaa"), okLine(t, "bbbb"))
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if w := st.Warnings(); len(w) != 0 {
+		t.Errorf("Warnings() = %q on a well-formed store, want none", w)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", st.Len())
+	}
+}
+
+func TestAppendSealsTornTail(t *testing.T) {
+	// A store whose last append was interrupted mid-line: the next Append
+	// must not extend the torn record, or both records become unreadable.
+	path := writeStoreFile(t,
+		okLine(t, "aaaa"),
+		`{"hash":"bbbb","spec":{"ki`,
+	)
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Result{Hash: "cccc", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, ok := st2.Completed("cccc"); !ok {
+		t.Error("record appended after a torn tail was not recovered")
+	}
+	if st2.Len() != 2 {
+		t.Errorf("Len() = %d, want 2 (aaaa, cccc)", st2.Len())
+	}
+	// The sealed torn line is now a terminated, corrupt line.
+	if w := st2.Warnings(); len(w) != 1 || !strings.Contains(w[0], "corrupt") {
+		t.Errorf("Warnings() = %q, want one corruption warning for the sealed torn line", w)
+	}
+}

@@ -86,25 +86,27 @@ type FlowKey struct {
 	SrcPort, DstPort uint16
 }
 
-// Hash returns a stable FNV-1a hash of the five-tuple.
+// Hash returns a stable FNV-1a hash of the five-tuple. It runs once per
+// forwarded packet per hop (ECMP pick), so it is written closure-free.
+//
+//f2tree:hotpath
 func (k FlowKey) Hash() uint32 {
 	const (
 		offset = 2166136261
 		prime  = 16777619
 	)
 	h := uint32(offset)
-	mix := func(b byte) { h = (h ^ uint32(b)) * prime }
 	for i := 24; i >= 0; i -= 8 {
-		mix(byte(k.Src >> i))
+		h = (h ^ uint32(byte(k.Src>>i))) * prime
 	}
 	for i := 24; i >= 0; i -= 8 {
-		mix(byte(k.Dst >> i))
+		h = (h ^ uint32(byte(k.Dst>>i))) * prime
 	}
-	mix(k.Proto)
-	mix(byte(k.SrcPort >> 8))
-	mix(byte(k.SrcPort))
-	mix(byte(k.DstPort >> 8))
-	mix(byte(k.DstPort))
+	h = (h ^ uint32(k.Proto)) * prime
+	h = (h ^ uint32(byte(k.SrcPort>>8))) * prime
+	h = (h ^ uint32(byte(k.SrcPort))) * prime
+	h = (h ^ uint32(byte(k.DstPort>>8))) * prime
+	h = (h ^ uint32(byte(k.DstPort))) * prime
 	return h
 }
 
@@ -114,6 +116,8 @@ type entry struct {
 }
 
 // best returns the next hops of the lowest-distance source present.
+//
+//f2tree:hotpath
 func (e *entry) best() []NextHop {
 	var (
 		bestSrc Source
@@ -141,16 +145,20 @@ type cacheEntry struct {
 // Table is a forwarding table. The zero value is not usable; call New.
 type Table struct {
 	// byLen[b] maps masked network addresses of length b to entries.
+	//f2tree:epochguarded
 	byLen [33]map[netaddr.Addr]*entry
 	// lens lists the prefix lengths with at least one installed route, in
 	// descending order — the only lengths Lookup visits. A production table
 	// holds ~3 distinct lengths (/32, /24, /16, /15), not 33.
-	lens  []int
+	//f2tree:epochguarded
+	lens []int
+	//f2tree:epochguarded
 	count int
 
 	// epoch versions every state a Lookup result depends on. Route
 	// mutations bump it internally; link-usability transitions must bump
 	// it via InvalidateFlowCache (the usable predicate is external state).
+	//f2tree:epoch
 	epoch    uint64
 	cache    map[FlowKey]cacheEntry
 	cacheCap int
@@ -185,6 +193,8 @@ func (t *Table) InvalidateFlowCache() { t.epoch++ }
 
 // notePopulated records that length b just gained its first route,
 // inserting it into the descending lens list.
+//
+//f2tree:noepoch internal helper; every caller (Add/ReplaceSource) bumps the epoch itself
 func (t *Table) notePopulated(b int) {
 	i := sort.Search(len(t.lens), func(i int) bool { return t.lens[i] <= b })
 	if i < len(t.lens) && t.lens[i] == b {
@@ -196,6 +206,8 @@ func (t *Table) notePopulated(b int) {
 }
 
 // noteEmptied records that length b lost its last route.
+//
+//f2tree:noepoch internal helper; every caller (Remove/ReplaceSource) bumps the epoch itself
 func (t *Table) noteEmptied(b int) {
 	i := sort.Search(len(t.lens), func(i int) bool { return t.lens[i] <= b })
 	if i < len(t.lens) && t.lens[i] == b {
@@ -304,6 +316,8 @@ type Result struct {
 // The shorter-prefix fallback happens here: if every next hop of the /24 is
 // unusable, the /16 is consulted, then the /15 — exactly the behaviour the
 // paper configures with its two static backup routes.
+//
+//f2tree:hotpath
 func (t *Table) Lookup(dst netaddr.Addr, flow FlowKey, usable func(NextHop) bool) (Result, bool) {
 	// The cache memoizes only the canonical forwarding query (dst is the
 	// flow's destination); diagnostic lookups with a detached dst bypass it.

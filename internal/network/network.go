@@ -115,7 +115,9 @@ func (ls *linkState) bothUp() bool { return ls.dirs[0].up && ls.dirs[1].up }
 type nodeState struct {
 	table *fib.Table
 	// believedUp[p] is the port's detected state; lags actual by
-	// DetectionDelay.
+	// DetectionDelay. Cached fib lookup results consult it through the
+	// usable predicate, so every flip must invalidate the flow cache.
+	//f2tree:epochguarded
 	believedUp []bool
 	recv       ReceiveFunc
 	// usable is the node's next-hop liveness predicate, built once so the
@@ -149,6 +151,8 @@ type Network struct {
 // far end of a link direction or a packet leaving a switch after its
 // processing delay. Using a static dispatch function plus a pooled record
 // replaces the two closures the old per-hop path allocated.
+//
+//f2tree:pooled
 type netEvent struct {
 	n    *Network
 	pkt  *Packet
@@ -166,6 +170,8 @@ const (
 )
 
 // runNetEvent is the static sim.ArgEvent all in-flight hops share.
+//
+//f2tree:hotpath
 func runNetEvent(now sim.Time, arg any) {
 	ev, ok := arg.(*netEvent)
 	if !ok {
@@ -192,6 +198,8 @@ func runNetEvent(now sim.Time, arg any) {
 }
 
 // getEvent returns a fresh or recycled in-flight record.
+//
+//f2tree:hotpath
 func (n *Network) getEvent() *netEvent {
 	if ln := len(n.freeEvents); ln > 0 {
 		ev := n.freeEvents[ln-1]
@@ -203,14 +211,19 @@ func (n *Network) getEvent() *netEvent {
 }
 
 // putEvent recycles an in-flight record.
+//
+//f2tree:hotpath
 func (n *Network) putEvent(ev *netEvent) {
 	ev.pkt = nil
-	n.freeEvents = append(n.freeEvents, ev)
+	//f2tree:retained the free list IS the pool; this append is the recycle step
+	n.freeEvents = append(n.freeEvents, ev) //f2tree:alloc amortized free-list growth, zero once warm
 }
 
 // NewPacket returns a zeroed packet from the network's free list. Packets
 // obtained here are recycled automatically when they die (delivered or
 // dropped); see the retention contract on Packet.
+//
+//f2tree:hotpath
 func (n *Network) NewPacket() *Packet {
 	if ln := len(n.freePkts); ln > 0 {
 		p := n.freePkts[ln-1]
@@ -223,12 +236,15 @@ func (n *Network) NewPacket() *Packet {
 
 // releasePacket recycles a pool-owned packet; direct &Packet{} values are
 // left alone.
+//
+//f2tree:hotpath
 func (n *Network) releasePacket(p *Packet) {
 	if !p.pooled {
 		return
 	}
 	*p = Packet{pooled: true}
-	n.freePkts = append(n.freePkts, p)
+	//f2tree:retained the free list IS the pool; this append is the recycle step
+	n.freePkts = append(n.freePkts, p) //f2tree:alloc amortized free-list growth, zero once warm
 }
 
 // LossFunc lets tests and fault injectors drop individual packets at a
@@ -256,6 +272,7 @@ func New(s *sim.Simulator, t *topo.Topology, cfg Config) (*Network, error) {
 		}
 		st := &n.nodes[i]
 		for p := range st.believedUp {
+			//f2tree:noepoch construction; the node's flow cache cannot hold entries yet
 			st.believedUp[p] = true
 		}
 		st.usable = func(nh fib.NextHop) bool { return st.believedUp[nh.Port] }
@@ -459,6 +476,8 @@ func (n *Network) RestoreLink(id topo.LinkID) { n.SetLinkState(id, true) }
 
 // SendFromHost injects a packet at a host at the current simulation time.
 // The packet's TTL and SentAt are stamped here.
+//
+//f2tree:hotpath
 func (n *Network) SendFromHost(host topo.NodeID, pkt *Packet) {
 	pkt.TTL = n.cfg.TTL
 	pkt.SentAt = n.sim.Now()
@@ -468,6 +487,8 @@ func (n *Network) SendFromHost(host topo.NodeID, pkt *Packet) {
 
 // drop records a packet loss. The packet dies here: once the observers
 // have run, pool-owned packets are recycled.
+//
+//f2tree:hotpath
 func (n *Network) drop(now sim.Time, at topo.NodeID, pkt *Packet, cause DropCause) {
 	n.stats.Drops[cause]++
 	for _, fn := range n.onDrop {
@@ -477,6 +498,8 @@ func (n *Network) drop(now sim.Time, at topo.NodeID, pkt *Packet, cause DropCaus
 }
 
 // forward routes pkt out of node (host or switch) at time now.
+//
+//f2tree:hotpath
 func (n *Network) forward(now sim.Time, node topo.NodeID, pkt *Packet) {
 	st := &n.nodes[node]
 	key := pkt.Flow
@@ -494,6 +517,8 @@ func (n *Network) forward(now sim.Time, node topo.NodeID, pkt *Packet) {
 }
 
 // transmit queues pkt on the given port of node.
+//
+//f2tree:hotpath
 func (n *Network) transmit(now sim.Time, node topo.NodeID, port int, pkt *Packet) {
 	if n.lossFilter != nil && n.lossFilter(now, node, pkt) {
 		n.drop(now, node, pkt, DropLinkDown)
@@ -537,11 +562,14 @@ func (n *Network) transmit(now sim.Time, node topo.NodeID, port int, pkt *Packet
 	other, _ := l.Other(node)
 	arrive := d.nextFree.Add(n.cfg.PropDelay)
 	ev := n.getEvent()
+	//f2tree:retained ownership transfers to the in-flight record until runNetEvent releases it
 	ev.kind, ev.pkt, ev.node, ev.from, ev.link, ev.dir = evArrive, pkt, other, node, l.ID, int8(dir)
 	n.sim.AtArg(arrive, runNetEvent, ev)
 }
 
 // arrive handles pkt reaching node.
+//
+//f2tree:hotpath
 func (n *Network) arrive(now sim.Time, node topo.NodeID, pkt *Packet) {
 	nd := n.topo.Node(node)
 	if nd.Kind == topo.Host {
@@ -564,6 +592,7 @@ func (n *Network) arrive(now sim.Time, node topo.NodeID, pkt *Packet) {
 		return
 	}
 	ev := n.getEvent()
+	//f2tree:retained ownership transfers to the in-flight record until runNetEvent releases it
 	ev.kind, ev.pkt, ev.node = evForward, pkt, node
 	n.sim.AfterArg(n.cfg.ProcDelay, runNetEvent, ev)
 }

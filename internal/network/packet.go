@@ -19,6 +19,8 @@ const (
 // callback but must not retain the *Packet afterwards (retaining the
 // Payload is fine — the pool never touches payload contents). Packets
 // constructed directly with &Packet{} are never recycled.
+//
+//f2tree:pooled
 type Packet struct {
 	// Flow is the five-tuple; Flow.Dst drives forwarding.
 	Flow fib.FlowKey
