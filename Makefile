@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet f2tree-vet vet-audit race check bench bench-campaign bench-hotpath
+.PHONY: build test vet f2tree-vet vet-audit race check chaos-smoke bench bench-campaign bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ race:
 	$(GO) test -race ./...
 
 check: build f2tree-vet vet-audit race
+
+# Fixed-seed chaos fuzz across all three control planes, checked by the
+# invariant oracles (internal/chaos). Any violation is shrunk to a minimal
+# replayable scenario under chaos-artifacts/ and fails the target.
+chaos-smoke:
+	mkdir -p chaos-artifacts
+	$(GO) run ./cmd/f2tree-chaos -n 10 -schemes f2tree -ports 8 \
+		-controls ospf,bgp,centralized -seed 42 -j 4 -artifacts chaos-artifacts
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,280 @@
+// Command f2tree-chaos drives the chaos engine (internal/chaos): it fuzzes
+// seeded fault scenarios across topologies and control planes, checks every
+// run against the four invariant oracles (forwarding loops, packet
+// conservation, blackhole windows, FIB consistency), shrinks any violation
+// to a minimal replayable scenario file, and replays such files.
+//
+// Usage:
+//
+//	f2tree-chaos [flags]
+//
+// Examples:
+//
+//	f2tree-chaos -n 30 -schemes f2tree -controls ospf,bgp,centralized -j 8
+//	f2tree-chaos -replay testdata/equal-prefix-c4.json
+//	f2tree-chaos -demo -artifacts out/
+//
+// Fuzz mode exits nonzero if any scenario violates an oracle, after writing
+// each violation's shrunk repro into -artifacts. The -demo mode runs the
+// deliberately mis-configured equal-prefix scenario and must find the loop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "f2tree-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("f2tree-chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		schemes  = fs.String("schemes", "f2tree", "comma-separated schemes to fuzz")
+		ports    = fs.String("ports", "8", "comma-separated switch port counts")
+		controls = fs.String("controls", "ospf,bgp,centralized", "comma-separated control planes")
+		n        = fs.Int("n", 10, "scenarios per scheme × ports × control cell")
+		seed     = fs.Int64("seed", 42, "campaign base seed (scenario seeds derive from it)")
+		j        = fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "real-time budget per run attempt (0 = none)")
+		out      = fs.String("out", "", "JSONL result store (enables resume)")
+		artDir   = fs.String("artifacts", "", "directory for shrunk violation scenarios (default: alongside -out, else .)")
+		maxRuns  = fs.Int("shrink-runs", 64, "execution budget per shrink")
+		quiet    = fs.Bool("q", false, "suppress the progress line")
+		replay   = fs.String("replay", "", "replay one scenario file and print its verdict")
+		demo     = fs.Bool("demo", false, "run the known-bad equal-prefix demo and shrink its repro")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	dir := *artDir
+	if dir == "" {
+		if *out != "" {
+			dir = filepath.Dir(*out)
+		} else {
+			dir = "."
+		}
+	}
+
+	if *replay != "" {
+		return runReplay(stdout, *replay)
+	}
+	if *demo {
+		return runDemo(stdout, dir, *maxRuns)
+	}
+	return runFuzz(stdout, stderr, fuzzConfig{
+		schemes: splitCSV(*schemes), ports: *ports, controls: splitCSV(*controls),
+		n: *n, seed: *seed, j: *j, timeout: *timeout, out: *out,
+		artifacts: dir, shrinkRuns: *maxRuns, quiet: *quiet,
+	})
+}
+
+// runReplay executes one scenario file and prints the verdict.
+func runReplay(stdout io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sc, err := chaos.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	v, err := chaos.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	printVerdict(stdout, path, v)
+	if v.Violated() {
+		return fmt.Errorf("%d oracle violation(s)", len(v.Violations))
+	}
+	return nil
+}
+
+// runDemo runs the known-bad equal-prefix configuration, requires the loop
+// oracle to fire, and writes the shrunk minimal repro.
+func runDemo(stdout io.Writer, dir string, shrinkRuns int) error {
+	sc, err := chaos.KnownBad(8)
+	if err != nil {
+		return err
+	}
+	v, err := chaos.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	printVerdict(stdout, "known-bad equal-prefix C4", v)
+	if !v.Violated() {
+		return fmt.Errorf("demo did not trip any oracle — the detector is broken")
+	}
+	res, err := chaos.Shrink(sc, shrinkRuns)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "equal-prefix-c4-shrunk.json")
+	if err := writeScenario(path, res.Scenario); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "demo: shrunk %d faults → %d in %d runs → %s\n",
+		len(sc.Faults), len(res.Scenario.Faults), res.Runs, path)
+	return nil
+}
+
+type fuzzConfig struct {
+	schemes    []string
+	ports      string
+	controls   []string
+	n          int
+	seed       int64
+	j          int
+	timeout    time.Duration
+	out        string
+	artifacts  string
+	shrinkRuns int
+	quiet      bool
+}
+
+// runFuzz expands the chaos matrix, runs it on the campaign pool, and
+// shrinks + persists every violating scenario.
+func runFuzz(stdout, stderr io.Writer, cfg fuzzConfig) error {
+	m := campaign.Matrix{
+		Kind: campaign.KindChaos, Reps: cfg.n, BaseSeed: cfg.seed,
+		Controls: cfg.controls,
+	}
+	for _, s := range cfg.schemes {
+		m.Schemes = append(m.Schemes, exp.Scheme(s))
+	}
+	var err error
+	if m.Ports, err = parseInts(cfg.ports); err != nil {
+		return fmt.Errorf("-ports: %w", err)
+	}
+	specs := m.Expand()
+	if len(specs) == 0 {
+		return fmt.Errorf("empty matrix")
+	}
+
+	opts := campaign.Options{Parallelism: cfg.j, Timeout: cfg.timeout, Retries: 1}
+	if !cfg.quiet {
+		opts.Progress = stderr
+	}
+	if cfg.out != "" {
+		store, err := campaign.OpenStore(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		for _, w := range store.Warnings() {
+			fmt.Fprintln(stderr, "f2tree-chaos: warning:", w)
+		}
+		opts.Store = store
+	}
+
+	res, err := campaign.Run(specs, campaign.ExperimentRunner(), opts)
+	if err != nil {
+		return err
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d run(s) failed — see the result store for errors", res.Failed)
+	}
+
+	violations := 0
+	var transient, runs uint64
+	for _, r := range res.Results {
+		runs++
+		oc, ok := res.Payloads[r.Spec.Hash()].(*campaign.ChaosOutcome)
+		if !ok {
+			continue // resumed from the store; payload not in memory
+		}
+		transient += oc.Verdict.TransientLoops
+		if !oc.Verdict.Violated() {
+			continue
+		}
+		violations++
+		fmt.Fprintf(stdout, "VIOLATION %s:\n", r.Spec.Key())
+		for _, viol := range oc.Verdict.Violations {
+			fmt.Fprintf(stdout, "  [%s] flow %d: %s\n", viol.Oracle, viol.Flow, viol.Detail)
+		}
+		shr, err := chaos.Shrink(oc.Scenario, cfg.shrinkRuns)
+		if err != nil {
+			return err
+		}
+		scOut, faults := oc.Scenario, len(oc.Scenario.Faults)
+		if shr != nil {
+			scOut, faults = shr.Scenario, len(shr.Scenario.Faults)
+		}
+		path := filepath.Join(cfg.artifacts, "chaos-"+r.Spec.Hash()+".json")
+		if err := writeScenario(path, scOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  shrunk to %d fault(s) → %s\n", faults, path)
+	}
+	fmt.Fprintf(stdout, "chaos: %d scenarios (%d resumed), %d violation(s), %d transient loops excused\n",
+		len(res.Results), res.Skipped, violations, transient)
+	if violations > 0 {
+		return fmt.Errorf("%d scenario(s) violated an oracle — repros written to %s", violations, cfg.artifacts)
+	}
+	return nil
+}
+
+func printVerdict(w io.Writer, label string, v *chaos.Verdict) {
+	fmt.Fprintf(w, "%s: sent %d delivered %d dropped %d (injected %d), %d transient loops, horizon %d ms budget %d ms\n",
+		label, v.Sent, v.Delivered, v.Drops, v.Injected, v.TransientLoops, v.HorizonMs, v.BudgetMs)
+	sorted := append([]chaos.Violation(nil), v.Violations...)
+	sort.SliceStable(sorted, func(i, k int) bool { return sorted[i].Oracle < sorted[k].Oracle })
+	for _, viol := range sorted {
+		fmt.Fprintf(w, "  [%s] flow %d: %s\n", viol.Oracle, viol.Flow, viol.Detail)
+	}
+}
+
+func writeScenario(path string, sc *chaos.Scenario) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := chaos.Write(f, sc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitCSV(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

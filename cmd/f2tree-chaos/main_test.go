@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestFuzzModeCleanMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real chaos runs")
+	}
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-n", "1", "-schemes", "f2tree", "-ports", "8",
+		"-controls", "ospf,centralized", "-q", "-artifacts", t.TempDir(),
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("fuzz mode failed: %v\n%s%s", err, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 violation(s)") {
+		t.Fatalf("unexpected fuzz summary:\n%s", out.String())
+	}
+}
+
+func TestReplayMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clean.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &chaos.Scenario{
+		Scheme: "f2tree", Ports: 8, Seed: 5,
+		Faults: []chaos.Fault{
+			{Kind: chaos.FaultLinkDown, AtMs: 400, EndMs: 800, A: "agg-p0-0", B: "tor-p0-0"},
+		},
+	}
+	if err := chaos.Write(f, sc); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-replay", path}, &out, &errb); err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "sent") {
+		t.Fatalf("replay printed no verdict:\n%s", out.String())
+	}
+}
+
+func TestReplayModeViolatingScenarioExitsNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the known-bad corpus scenario")
+	}
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-replay", filepath.Join("..", "..", "internal", "chaos",
+			"testdata", "equal-prefix-c4-shrunk.json"),
+	}, &out, &errb)
+	if err == nil {
+		t.Fatalf("replay of a violating scenario must fail\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[loop]") {
+		t.Fatalf("verdict does not show the loop violation:\n%s", out.String())
+	}
+}
+
+func TestDemoMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the known-bad search and shrink")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-demo", "-artifacts", dir}, &out, &errb); err != nil {
+		t.Fatalf("demo failed: %v\n%s", err, out.String())
+	}
+	shrunk := filepath.Join(dir, "equal-prefix-c4-shrunk.json")
+	f, err := os.Open(shrunk)
+	if err != nil {
+		t.Fatalf("demo wrote no shrunk repro: %v", err)
+	}
+	defer f.Close()
+	sc, err := chaos.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Faults) > 3 {
+		t.Fatalf("shrunk repro has %d faults, want ≤ 3", len(sc.Faults))
+	}
+}
+
+func TestRejectsUnknownArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"positional"}, &out, &errb); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}

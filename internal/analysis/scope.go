@@ -12,6 +12,7 @@ import "slices"
 // audited `//f2tree:` annotations instead of being exempted wholesale.
 var scopedPackages = map[string]bool{
 	"repro/internal/campaign":   true,
+	"repro/internal/chaos":      true,
 	"repro/internal/sim":        true,
 	"repro/internal/ospf":       true,
 	"repro/internal/bgp":        true,
@@ -24,6 +25,7 @@ var scopedPackages = map[string]bool{
 	"repro/internal/detsort":    true,
 	"repro/cmd/f2tree-bench":    true,
 	"repro/cmd/f2tree-campaign": true,
+	"repro/cmd/f2tree-chaos":    true,
 	"repro/cmd/f2tree-lab":      true,
 	"repro/cmd/f2tree-plan":     true,
 	"repro/cmd/f2tree-report":   true,

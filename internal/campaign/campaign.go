@@ -42,6 +42,9 @@ const (
 	// KindPA is one partition-aggregate workload run under the random
 	// failure process — a Fig 6 cell.
 	KindPA Kind = "pa"
+	// KindChaos is one fuzzed chaos scenario checked by the invariant
+	// oracles (internal/chaos) — a cell of the robustness campaign.
+	KindChaos Kind = "chaos"
 )
 
 // Spec is one independent run: the experiment coordinates that fully
@@ -97,6 +100,8 @@ func (s Spec) Seed() int64 {
 	switch s.Kind {
 	case KindPA:
 		return exp.PASeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports, s.Channels, s.Rep)
+	case KindChaos:
+		return exp.ChaosSeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports, s.control(), s.Rep)
 	default:
 		cond, _ := ParseCondition(s.Condition)
 		return exp.RecoverySeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports, cond, s.control(), s.Rep)
@@ -128,6 +133,12 @@ func (s Spec) Validate() error {
 		}
 		if s.Control != "" && s.Control != exp.ControlOSPF {
 			return fmt.Errorf("campaign: pa runs support only ospf")
+		}
+	case KindChaos:
+		switch s.control() {
+		case exp.ControlOSPF, exp.ControlBGP, exp.ControlCentralized:
+		default:
+			return fmt.Errorf("campaign: unknown control plane %q", s.Control)
 		}
 	default:
 		return fmt.Errorf("campaign: unknown kind %q", s.Kind)
@@ -210,6 +221,12 @@ func (m Matrix) Expand() []Spec {
 				for _, ch := range channels {
 					s := base
 					s.Channels = ch
+					add(s)
+				}
+			case KindChaos:
+				for _, control := range controls {
+					s := base
+					s.Control = control
 					add(s)
 				}
 			default:

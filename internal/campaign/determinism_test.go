@@ -82,3 +82,58 @@ func TestParallelFig4MatchesSerial(t *testing.T) {
 		t.Fatal("parallel Fig 5 series diverge from serial")
 	}
 }
+
+// TestChaosCampaignByteIdenticalAcrossParallelism extends the byte-identity
+// guarantee to fuzzed chaos cells: scenario generation, the run and the
+// oracle verdicts (including every trace hash) must be pure functions of
+// the spec, independent of worker scheduling.
+func TestChaosCampaignByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6 chaos runs")
+	}
+	matrix := Matrix{
+		Kind:     KindChaos,
+		Schemes:  []exp.Scheme{exp.SchemeF2Tree},
+		Ports:    []int{8},
+		Controls: []string{exp.ControlOSPF, exp.ControlCentralized},
+		Reps:     3,
+		BaseSeed: 42,
+	}
+	render := func(par int) (agg string, hashes []string) {
+		out, err := Run(matrix.Expand(), ExperimentRunner(), Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Results {
+			if r.Status != StatusOK {
+				t.Fatalf("run %s failed: %s", r.Spec.Key(), r.Error)
+			}
+			oc, ok := out.Payloads[r.Spec.Hash()].(*ChaosOutcome)
+			if !ok {
+				t.Fatalf("run %s has no chaos payload", r.Spec.Key())
+			}
+			hashes = append(hashes, oc.Verdict.TraceHash)
+		}
+		var b strings.Builder
+		if err := WriteAggregateJSONL(&b, AggregateResults(out.Results)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), hashes
+	}
+	agg1, h1 := render(1)
+	agg8, h8 := render(8)
+	if agg1 != agg8 {
+		t.Fatalf("chaos aggregate differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", agg1, agg8)
+	}
+	if len(h1) != len(h8) {
+		t.Fatalf("result counts differ: %d vs %d", len(h1), len(h8))
+	}
+	for i := range h1 {
+		if h1[i] != h8[i] {
+			t.Fatalf("trace hash %d differs between -j 1 and -j 8: %s vs %s", i, h1[i], h8[i])
+		}
+	}
+	if !strings.Contains(agg1, "violations") {
+		t.Fatalf("aggregate missing chaos metrics:\n%s", agg1)
+	}
+}

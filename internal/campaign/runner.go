@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/exp"
 	"repro/internal/sim"
 )
@@ -20,6 +21,8 @@ func ExperimentRunner() RunFunc {
 			return runRecoverySpec(s)
 		case KindPA:
 			return runPASpec(s)
+		case KindChaos:
+			return runChaosSpec(s)
 		default:
 			return nil, nil, fmt.Errorf("campaign: unknown kind %q", s.Kind)
 		}
@@ -77,6 +80,40 @@ func runRecoverySpec(s Spec) (Metrics, any, error) {
 		"goodput_mbps": delivered * 1448 * 8 / horizon.Seconds() / 1e6,
 	}
 	return m, res, nil
+}
+
+// runChaosSpec generates the cell's fuzzed scenario from the spec-derived
+// seed and runs it under the invariant oracles. The payload is the
+// scenario together with its verdict, so a violating cell can be shrunk
+// and written out as a replayable artifact by the caller.
+func runChaosSpec(s Spec) (Metrics, any, error) {
+	sc, err := chaos.Generate(chaos.FuzzConfig{
+		Scheme: s.Scheme, Ports: s.Ports, Control: s.control(),
+	}, s.Seed())
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := chaos.RunScenario(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := Metrics{
+		"violations":      float64(len(v.Violations)),
+		"transient_loops": float64(v.TransientLoops),
+		"sent":            float64(v.Sent),
+		"delivered":       float64(v.Delivered),
+		"drops":           float64(v.Drops),
+		"injected":        float64(v.Injected),
+		"faults":          float64(len(sc.Faults)),
+		"horizon_ms":      float64(v.HorizonMs),
+	}
+	return m, &ChaosOutcome{Scenario: sc, Verdict: v}, nil
+}
+
+// ChaosOutcome is the in-process payload of a chaos cell.
+type ChaosOutcome struct {
+	Scenario *chaos.Scenario
+	Verdict  *chaos.Verdict
 }
 
 func runPASpec(s Spec) (Metrics, any, error) {

@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestScenarioRoundTrip(t *testing.T) {
+	sc := &Scenario{
+		Scheme: "f2tree", Ports: 8, Control: exp.ControlOSPF, Seed: 7,
+		BudgetMs: 250, EqualPrefixBackup: true,
+		Flows: []Flow{{Src: "leftmost", Dst: "rightmost", IntervalUs: 500}},
+		Faults: []Fault{
+			{Kind: FaultLinkDown, AtMs: 400, A: "agg-p0-0", B: "tor-p0-1"},
+			{Kind: FaultGray, AtMs: 300, EndMs: 800, A: "agg-p0-0", B: "tor-p0-0", Prob: 0.5},
+			{Kind: FaultCrash, AtMs: 500, EndMs: 900, Node: "agg-p1-0"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("round trip mismatch:\n  wrote %+v\n  read  %+v", sc, back)
+	}
+}
+
+func TestValidateRejectsBadScenarios(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Scheme: "f2tree", Ports: 8}
+	}
+	cases := map[string]func(*Scenario){
+		"missing scheme":        func(sc *Scenario) { sc.Scheme = "" },
+		"unknown control":       func(sc *Scenario) { sc.Control = "rip" },
+		"negative horizon":      func(sc *Scenario) { sc.HorizonMs = -1 },
+		"flow missing dst":      func(sc *Scenario) { sc.Flows = []Flow{{Src: "leftmost"}} },
+		"duplicate flow":        func(sc *Scenario) { sc.Flows = []Flow{{Src: "a", Dst: "b"}, {Src: "a", Dst: "b"}} },
+		"negative flow interval": func(sc *Scenario) { sc.Flows = []Flow{{Src: "a", Dst: "b", IntervalUs: -1}} },
+		"unknown fault kind":    func(sc *Scenario) { sc.Faults = []Fault{{Kind: "emp", AtMs: 100}} },
+		"negative fault time":   func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultLinkDown, AtMs: -5, A: "x", B: "y"}} },
+		"window closes before open": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultGray, AtMs: 500, EndMs: 400, A: "x", B: "y", Prob: 0.5}}
+		},
+		"window past horizon": func(sc *Scenario) {
+			sc.HorizonMs = 600
+			sc.Faults = []Fault{{Kind: FaultGray, AtMs: 500, EndMs: 800, A: "x", B: "y", Prob: 0.5}}
+		},
+		"link fault missing endpoint": func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultLinkDown, AtMs: 100, A: "x"}} },
+		"gray without window":  func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultGray, AtMs: 100, A: "x", B: "y", Prob: 0.5}} },
+		"gray prob out of range": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultGray, AtMs: 100, EndMs: 200, A: "x", B: "y", Prob: 1.5}}
+		},
+		"flap without period": func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultFlap, AtMs: 100, EndMs: 400, A: "x", B: "y"}} },
+		"crash without node":  func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultCrash, AtMs: 100}} },
+		"hello-suppress without node": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultHelloSuppress, AtMs: 100, EndMs: 300}}
+		},
+		"lsa-delay out of range": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultLSADelay, AtMs: 100, EndMs: 300, DelayMs: 9000}}
+		},
+		"ospf fault under bgp": func(sc *Scenario) {
+			sc.Control = exp.ControlBGP
+			sc.Faults = []Fault{{Kind: FaultCrash, AtMs: 100, Node: "x"}}
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			sc := base()
+			mutate(sc)
+			if err := sc.Validate(); err == nil {
+				t.Fatalf("%s: Validate accepted %+v", name, sc)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base scenario must be valid: %v", err)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"scheme":"f2tree","ports":8,"bogus":1}`))
+	if err == nil {
+		t.Fatal("Parse accepted unknown field")
+	}
+}
+
+// TestCleanRunsSatisfyOracles runs a benign fail+repair scenario under all
+// three control planes: the oracles must stay silent because every
+// disruption sits inside a disturbed window.
+func TestCleanRunsSatisfyOracles(t *testing.T) {
+	for _, control := range []string{exp.ControlOSPF, exp.ControlBGP, exp.ControlCentralized} {
+		t.Run(control, func(t *testing.T) {
+			sc := &Scenario{
+				Scheme: "f2tree", Ports: 8, Control: control, Seed: 11,
+				Faults: []Fault{
+					{Kind: FaultLinkDown, AtMs: 400, EndMs: 900, A: "agg-p0-0", B: "tor-p0-0"},
+				},
+			}
+			v, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Violated() {
+				t.Fatalf("clean run violated: %+v", v.Violations)
+			}
+			if v.Sent == 0 || v.Delivered == 0 {
+				t.Fatalf("no traffic flowed: %+v", v)
+			}
+		})
+	}
+}
+
+// TestFaultlessRunDeliversEverything is the baseline: no faults, no drops,
+// no violations.
+func TestFaultlessRunDeliversEverything(t *testing.T) {
+	v, err := RunScenario(&Scenario{Scheme: "fattree", Ports: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Violated() {
+		t.Fatalf("faultless run violated: %+v", v.Violations)
+	}
+	if v.Drops != 0 {
+		t.Fatalf("faultless run dropped %d packets", v.Drops)
+	}
+	if v.Sent == 0 || v.Sent != v.Delivered {
+		t.Fatalf("conservation counters off: sent %d delivered %d", v.Sent, v.Delivered)
+	}
+}
+
+// TestRunIsDeterministic reruns one scenario and requires byte-identical
+// trace hashes and verdicts.
+func TestRunIsDeterministic(t *testing.T) {
+	sc := &Scenario{
+		Scheme: "f2tree", Ports: 8, Seed: 21,
+		Faults: []Fault{
+			{Kind: FaultGray, AtMs: 300, EndMs: 900, A: "agg-p0-0", B: "tor-p0-0", Prob: 0.6},
+			{Kind: FaultFlap, AtMs: 400, EndMs: 1000, A: "core-g0-0", B: "agg-p0-0", PeriodMs: 60},
+		},
+	}
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hashes differ: %s vs %s", a.TraceHash, b.TraceHash)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("verdicts differ:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestKnownBadLoopsAndShrinks is the end-to-end demonstration: the
+// equal-prefix ablation under C4 must trip the loop oracle, and the
+// shrinker must strip the decoy faults down to the two load-bearing
+// link-downs.
+func TestKnownBadLoopsAndShrinks(t *testing.T) {
+	sc, err := KnownBad(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Faults) != 4 {
+		t.Fatalf("demo should carry 2 C4 faults + 2 decoys, has %d", len(sc.Faults))
+	}
+	v, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looped := false
+	for _, viol := range v.Violations {
+		if viol.Oracle == "loop" {
+			looped = true
+		}
+	}
+	if !looped {
+		t.Fatalf("known-bad scenario did not trip the loop oracle: %+v", v.Violations)
+	}
+
+	res, err := Shrink(sc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("Shrink says the scenario does not violate")
+	}
+	if got := len(res.Scenario.Faults); got > 3 {
+		t.Fatalf("shrunk repro has %d faults, want ≤ 3", got)
+	}
+	for _, f := range res.Scenario.Faults {
+		if f.Kind != FaultLinkDown {
+			t.Fatalf("decoy fault %s survived shrinking: %+v", f.Kind, res.Scenario.Faults)
+		}
+	}
+	if !res.Verdict.Violated() {
+		t.Fatal("shrunk scenario no longer violates")
+	}
+}
+
+// TestFuzzSmoke generates and runs a few seeded scenarios per control
+// plane; correct configurations must satisfy every oracle.
+func TestFuzzSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz smoke is slow")
+	}
+	for _, control := range []string{exp.ControlOSPF, exp.ControlBGP, exp.ControlCentralized} {
+		for rep := 0; rep < 3; rep++ {
+			seed := exp.ChaosSeed(1, exp.SchemeF2Tree, 8, control, rep)
+			sc, err := Generate(FuzzConfig{Scheme: "f2tree", Ports: 8, Control: control}, seed)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", control, rep, err)
+			}
+			v, err := RunScenario(sc)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", control, rep, err)
+			}
+			if v.Violated() {
+				var buf bytes.Buffer
+				_ = Write(&buf, sc)
+				t.Fatalf("%s/%d violated:\n%v\nscenario:\n%s", control, rep, v.Violations, buf.String())
+			}
+		}
+	}
+}

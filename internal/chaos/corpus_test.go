@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusStillViolates replays every shrunk repro committed under
+// testdata: each is a minimal known-bad scenario the oracles once caught,
+// and they must keep catching it. A corpus file that stops violating means
+// a detector regressed (or the modeled bug silently disappeared) — either
+// way a human should look.
+func TestCorpusStillViolates(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus scenarios in testdata")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Parse(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Violated() {
+				t.Fatalf("corpus scenario no longer trips any oracle: %+v", v)
+			}
+		})
+	}
+}

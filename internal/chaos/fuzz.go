@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exp"
+	"repro/internal/topo"
+)
+
+// FuzzConfig fixes the non-random coordinates of a fuzz cell; everything
+// else — fault kinds, targets, times, windows — is drawn from the seed.
+type FuzzConfig struct {
+	Scheme  string
+	Ports   int
+	Control string
+}
+
+// Generate builds the seeded random scenario of a fuzz cell. The same
+// (cfg, seed) always yields the same scenario: targets are sampled from
+// the deterministically built topology and all draws come from one
+// seeded source. The seed is also stored in the scenario, so the run's
+// own randomness (gray loss, ECMP, jitter) replays identically.
+func Generate(cfg FuzzConfig, seed int64) (*Scenario, error) {
+	tp, err := exp.BuildTopology(exp.Scheme(cfg.Scheme), cfg.Ports)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fuzz: %w", err)
+	}
+	var (
+		fabric   []topo.Link // non-host links, fault targets
+		switches []string
+		podSet   = make(map[int]bool)
+		pods     []int
+	)
+	for _, l := range tp.Links {
+		if l.Removed || l.Class == topo.HostLink {
+			continue
+		}
+		fabric = append(fabric, l)
+	}
+	for _, n := range tp.Nodes {
+		if n.Pruned || n.Kind == topo.Host {
+			continue
+		}
+		switches = append(switches, n.Name)
+		if n.Pod != topo.None && !podSet[n.Pod] {
+			podSet[n.Pod] = true
+			pods = append(pods, n.Pod)
+		}
+	}
+	if len(fabric) == 0 || len(switches) == 0 {
+		return nil, fmt.Errorf("chaos: fuzz: %s/%d has no fabric to break", cfg.Scheme, cfg.Ports)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []string{
+		FaultLinkDown, FaultUnidirDown, FaultGray, FaultFlap,
+		FaultPodBurst, FaultHelloSuppress,
+	}
+	if cfg.Control == "" || cfg.Control == exp.ControlOSPF {
+		kinds = append(kinds, FaultLSADrop, FaultLSADelay, FaultCrash)
+	}
+
+	sc := &Scenario{
+		Scheme:  cfg.Scheme,
+		Ports:   cfg.Ports,
+		Control: cfg.Control,
+		Seed:    seed,
+	}
+	n := 1 + rng.Intn(5)
+	permanentUsed := false
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Kind: kinds[rng.Intn(len(kinds))],
+			AtMs: 300 + int64(rng.Intn(2201)), // [300, 2500]
+		}
+		window := func() { f.EndMs = f.AtMs + 100 + int64(rng.Intn(1401)) } // 100–1500 ms
+		link := func() {
+			l := fabric[rng.Intn(len(fabric))]
+			f.A = tp.Nodes[l.A].Name
+			f.B = tp.Nodes[l.B].Name
+		}
+		switch f.Kind {
+		case FaultLinkDown:
+			link()
+			// At most one fault may be permanent, so one repair always
+			// bounds the outage and the fuzzer can't partition the fabric
+			// for good by accident.
+			if !permanentUsed && rng.Intn(3) == 0 {
+				permanentUsed = true
+			} else {
+				window()
+			}
+		case FaultUnidirDown:
+			link()
+			window()
+		case FaultGray:
+			link()
+			window()
+			f.Prob = 0.3 + 0.65*rng.Float64() // [0.3, 0.95]
+		case FaultFlap:
+			link()
+			window()
+			f.PeriodMs = 30 + int64(rng.Intn(121)) // 30–150 ms
+		case FaultPodBurst:
+			if len(pods) == 0 {
+				i--
+				continue
+			}
+			f.Pod = pods[rng.Intn(len(pods))]
+			window()
+		case FaultHelloSuppress:
+			f.Node = switches[rng.Intn(len(switches))]
+			window()
+		case FaultLSADrop:
+			window()
+			if rng.Intn(2) == 0 {
+				f.Node = switches[rng.Intn(len(switches))]
+			}
+		case FaultLSADelay:
+			window()
+			f.DelayMs = 20 + int64(rng.Intn(481)) // 20–500 ms
+		case FaultCrash:
+			f.Node = switches[rng.Intn(len(switches))]
+			if !permanentUsed && rng.Intn(4) == 0 {
+				permanentUsed = true
+			} else {
+				window()
+			}
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: fuzz: generated invalid scenario: %w", err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import "slices"
+
+// ShrinkResult reports what the shrinker achieved.
+type ShrinkResult struct {
+	// Scenario is the 1-minimal violating scenario (every single fault is
+	// load-bearing: removing any one of them makes the violation vanish).
+	Scenario *Scenario
+	// Verdict is the violating verdict of the shrunk scenario.
+	Verdict *Verdict
+	// Runs is how many scenario executions the search spent.
+	Runs int
+}
+
+// Shrink minimizes the fault schedule of a violating scenario with
+// Zeller's ddmin: it repeatedly re-runs the scenario with subsets and
+// complements of the fault list, keeping any smaller schedule that still
+// violates an oracle, until the schedule is 1-minimal or maxRuns
+// executions are spent. Every candidate run reuses the scenario's own
+// seed, so the search is deterministic and the result replays.
+//
+// Shrink returns nil (no error) if the input scenario does not violate
+// in the first place.
+func Shrink(sc *Scenario, maxRuns int) (*ShrinkResult, error) {
+	res := &ShrinkResult{}
+	// try runs the scenario restricted to the given faults and reports
+	// whether it still violates. Engine errors (a candidate subset can
+	// never be structurally invalid, but belt and braces) count as
+	// non-violating so the search simply keeps that chunk.
+	try := func(faults []Fault) (*Verdict, bool) {
+		if res.Runs >= maxRuns {
+			return nil, false
+		}
+		res.Runs++
+		cand := *sc
+		cand.Faults = faults
+		v, err := RunScenario(&cand)
+		if err != nil || !v.Violated() {
+			return nil, false
+		}
+		return v, true
+	}
+
+	v, bad := try(sc.Faults)
+	if !bad {
+		return nil, nil
+	}
+	faults := slices.Clone(sc.Faults)
+	n := 2
+	for len(faults) >= 2 && res.Runs < maxRuns {
+		chunk := (len(faults) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(faults); lo += chunk {
+			hi := min(lo+chunk, len(faults))
+			subset := slices.Clone(faults[lo:hi])
+			if sv, ok := try(subset); ok {
+				faults, v = subset, sv
+				n = 2
+				reduced = true
+				break
+			}
+			complement := append(slices.Clone(faults[:lo]), faults[hi:]...)
+			if len(complement) > 0 {
+				if cv, ok := try(complement); ok {
+					faults, v = complement, cv
+					n = max(n-1, 2)
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(faults) {
+				break
+			}
+			n = min(2*n, len(faults))
+		}
+	}
+	shrunk := *sc
+	shrunk.Faults = faults
+	res.Scenario = &shrunk
+	res.Verdict = v
+	return res, nil
+}

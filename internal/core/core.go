@@ -203,6 +203,17 @@ func PlanEqualPrefixBackupRoutes(t *topo.Topology) (Plan, error) {
 // routes are local to each switch and invisible to OSPF, exactly like the
 // paper's non-redistributed static configuration.
 func Apply(nw *network.Network, plan Plan) error {
+	return applyRoutes(nw, plan.Routes)
+}
+
+// ApplyNode installs only the plan's routes for one switch — the
+// restore-after-crash path (a rebooted switch reloads its static
+// configuration from NVRAM before OSPF reconverges).
+func ApplyNode(nw *network.Network, plan Plan, node topo.NodeID) error {
+	return applyRoutes(nw, plan.RoutesFor(node))
+}
+
+func applyRoutes(nw *network.Network, routes []BackupRoute) error {
 	// Merge routes sharing (switch, prefix) into one ECMP set — the
 	// normal plan never collides, but the equal-prefix ablation does.
 	type key struct {
@@ -210,8 +221,8 @@ func Apply(nw *network.Network, plan Plan) error {
 		prefix netaddr.Prefix
 	}
 	merged := make(map[key][]fib.NextHop)
-	order := make([]key, 0, len(plan.Routes))
-	for _, r := range plan.Routes {
+	order := make([]key, 0, len(routes))
+	for _, r := range routes {
 		k := key{sw: r.Switch, prefix: r.Prefix}
 		if _, seen := merged[k]; !seen {
 			order = append(order, k)

@@ -45,3 +45,11 @@ func PASeed(base int64, s Scheme, ports, channels, rep int) int64 {
 	return sim.DeriveSeed(base, "pa", string(s), strconv.Itoa(ports),
 		strconv.Itoa(channels), strconv.Itoa(rep))
 }
+
+// ChaosSeed is the convention for fuzzed chaos scenarios (scheme × control
+// × replicate). The seed drives both the scenario generator and the run
+// itself, so a fuzz cell is fully reproducible from its coordinates.
+func ChaosSeed(base int64, s Scheme, ports int, control string, rep int) int64 {
+	return sim.DeriveSeed(base, "chaos", string(s), strconv.Itoa(ports),
+		control, strconv.Itoa(rep))
+}

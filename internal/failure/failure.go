@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/detsort"
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -294,6 +295,12 @@ type Process struct {
 
 	count  int
 	active map[topo.LinkID]bool
+
+	// pending tracks the not-yet-fired inter-failure waits so Stop can
+	// cancel them instead of leaving dead events in the queue (which would
+	// stall RunUntilIdle until the last sampled wait elapsed).
+	nextWait int
+	pending  map[int]sim.Handle
 }
 
 // NewProcess builds a process over nw's live fabric links.
@@ -309,7 +316,11 @@ func NewProcess(nw *network.Network, cfg RandomConfig) (*Process, error) {
 	for _, c := range classes {
 		classOK[c] = true
 	}
-	p := &Process{nw: nw, cfg: cfg, active: make(map[topo.LinkID]bool)}
+	p := &Process{
+		nw: nw, cfg: cfg,
+		active:  make(map[topo.LinkID]bool),
+		pending: make(map[int]sim.Handle),
+	}
 	for _, l := range nw.Topology().LiveLinks() {
 		if classOK[l.Class] {
 			p.links = append(p.links, l.ID)
@@ -328,8 +339,17 @@ func (p *Process) Start() {
 	}
 }
 
-// Stop halts future failures (in-progress repairs still complete).
-func (p *Process) Stop() { p.stopped = true }
+// Stop halts future failures by canceling every pending inter-failure
+// wait (in-progress repairs still complete, so no link is left failed by
+// stopping). After Stop the process schedules nothing further and the
+// simulator can quiesce without draining dead events.
+func (p *Process) Stop() {
+	p.stopped = true
+	for _, id := range detsort.Keys(p.pending) {
+		p.nw.Sim().Cancel(p.pending[id])
+		delete(p.pending, id)
+	}
+}
 
 // Count returns how many failures have been injected.
 func (p *Process) Count() int { return p.count }
@@ -340,7 +360,10 @@ func (p *Process) Active() int { return len(p.active) }
 func (p *Process) scheduleNext() {
 	rng := p.nw.Sim().Rand()
 	wait := time.Duration(p.cfg.InterFailure.Sample(rng) * float64(time.Second))
-	p.nw.Sim().After(wait, func(now sim.Time) {
+	wid := p.nextWait
+	p.nextWait++
+	p.pending[wid] = p.nw.Sim().After(wait, func(now sim.Time) {
+		delete(p.pending, wid)
 		if p.stopped {
 			return
 		}

@@ -247,6 +247,67 @@ func TestRandomProcessChannelsScaleConcurrency(t *testing.T) {
 	}
 }
 
+// TestStopCancelsPendingEvents is the regression test for the Stop bug:
+// Stop used to only set a flag, leaving the already-scheduled
+// inter-failure waits in the queue — the simulator could not quiesce
+// until the last sampled wait (potentially minutes of virtual time)
+// elapsed as a dead event. Stop must Cancel the outstanding handles.
+func TestStopCancelsPendingEvents(t *testing.T) {
+	tp, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw := build(t, tp)
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	idle := s.Now()
+
+	cfg, err := DefaultRandomConfig(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcess(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Stop()
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != idle {
+		t.Fatalf("clock advanced %v past stop: pending failure events not canceled",
+			(s.Now() - idle).Duration())
+	}
+	if p.Count() != 0 {
+		t.Fatalf("%d failures injected after Stop", p.Count())
+	}
+
+	// Stopping mid-run keeps the repair invariant: no link stays failed.
+	p2, err := NewProcess(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Start()
+	if err := s.Run(s.Now() + 120*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	p2.Stop()
+	stopAt := s.Now()
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Active() != 0 {
+		t.Fatalf("%d links still failed after stop+drain", p2.Active())
+	}
+	// Only in-flight repairs may remain: the drain is bounded by a repair
+	// duration, not by the next inter-failure wait of every channel.
+	if s.Now()-stopAt > 300*sim.Second {
+		t.Fatalf("drain took %v of virtual time", (s.Now() - stopAt).Duration())
+	}
+}
+
 func TestRandomProcessRejectsBadConfig(t *testing.T) {
 	tp, err := topo.FatTree(4)
 	if err != nil {

@@ -303,6 +303,18 @@ func (t *Table) ReplaceSource(src Source, routes []Route) error {
 // Len returns the number of installed (prefix, source) routes.
 func (t *Table) Len() int { return t.count }
 
+// Clear wipes every installed route of every source — the FIB of a switch
+// that crashed and restarted with empty forwarding state. The flow cache
+// (if enabled) stays enabled and is invalidated by the epoch bump.
+func (t *Table) Clear() {
+	for b := range t.byLen {
+		t.byLen[b] = nil
+	}
+	t.lens = t.lens[:0]
+	t.count = 0
+	t.epoch++
+}
+
 // Result is a successful lookup.
 type Result struct {
 	Prefix  netaddr.Prefix

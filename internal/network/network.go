@@ -136,6 +136,7 @@ type Network struct {
 	onPortState []PortStateFunc
 	onDrop      []DropFunc
 	lossFilter  LossFunc
+	detFilter   DetectionFilter
 	spraySeq    uint16
 
 	// Hot-path free lists: packets (NewPacket) and in-flight hop records
@@ -248,8 +249,17 @@ func (n *Network) releasePacket(p *Packet) {
 }
 
 // LossFunc lets tests and fault injectors drop individual packets at a
-// transmitting node; return true to drop.
-type LossFunc func(now sim.Time, at topo.NodeID, pkt *Packet) bool
+// transmitting node; return true to drop. Filtered packets are recorded
+// under DropInjected so oracles can tell injected loss from the structural
+// blackholes (DropLinkDown) the paper's recovery windows measure.
+type LossFunc func(now sim.Time, at topo.NodeID, port int, pkt *Packet) bool
+
+// DetectionFilter lets fault injectors suppress a failure detector firing
+// (a switch whose BFD/hello processing has wedged): return true and the
+// port's believed state stays stale. Callers that suppress transitions are
+// responsible for calling RescanPorts once the fault clears, or beliefs
+// stay stale forever.
+type DetectionFilter func(now sim.Time, node topo.NodeID, port int, observed bool) bool
 
 // New instantiates the topology. All live links start up; FIBs start with
 // only connected routes (each ToR knows its attached hosts and each host
@@ -293,41 +303,52 @@ func New(s *sim.Simulator, t *topo.Topology, cfg Config) (*Network, error) {
 
 // installConnectedRoutes seeds host default routes and ToR host routes.
 func (n *Network) installConnectedRoutes() error {
-	defaultRoute, err := netaddrDefault()
-	if err != nil {
-		return err
-	}
 	for _, id := range n.topo.LiveNodes() {
-		nd := n.topo.Node(id)
-		switch nd.Kind {
-		case topo.Host:
-			ls := n.topo.LinksOf(id)
-			if len(ls) != 1 {
-				return fmt.Errorf("network: host %s has %d links", nd.Name, len(ls))
+		if err := n.ReinstallConnectedRoutes(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReinstallConnectedRoutes re-seeds the connected-scope routes of one node:
+// the default route for a host, the attached-host routes for a ToR, nothing
+// for other switches. Chaos uses it to rebuild a switch's FIB after a
+// crash wiped it.
+func (n *Network) ReinstallConnectedRoutes(id topo.NodeID) error {
+	nd := n.topo.Node(id)
+	switch nd.Kind {
+	case topo.Host:
+		defaultRoute, err := netaddrDefault()
+		if err != nil {
+			return err
+		}
+		ls := n.topo.LinksOf(id)
+		if len(ls) != 1 {
+			return fmt.Errorf("network: host %s has %d links", nd.Name, len(ls))
+		}
+		port, _ := ls[0].PortOf(id)
+		tor, _ := ls[0].Other(id)
+		err = n.nodes[id].table.Add(fib.Route{
+			Prefix: defaultRoute, Source: fib.Static,
+			NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(tor).Addr}},
+		})
+		if err != nil {
+			return err
+		}
+	case topo.ToR:
+		for _, l := range n.topo.LinksOf(id) {
+			other, _ := l.Other(id)
+			if n.topo.Node(other).Kind != topo.Host {
+				continue
 			}
-			port, _ := ls[0].PortOf(id)
-			tor, _ := ls[0].Other(id)
+			port, _ := l.PortOf(id)
 			err := n.nodes[id].table.Add(fib.Route{
-				Prefix: defaultRoute, Source: fib.Static,
-				NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(tor).Addr}},
+				Prefix: hostPrefix(n.topo.Node(other).Addr), Source: fib.Connected,
+				NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(other).Addr}},
 			})
 			if err != nil {
 				return err
-			}
-		case topo.ToR:
-			for _, l := range n.topo.LinksOf(id) {
-				other, _ := l.Other(id)
-				if n.topo.Node(other).Kind != topo.Host {
-					continue
-				}
-				port, _ := l.PortOf(id)
-				err := n.nodes[id].table.Add(fib.Route{
-					Prefix: hostPrefix(n.topo.Node(other).Addr), Source: fib.Connected,
-					NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(other).Addr}},
-				})
-				if err != nil {
-					return err
-				}
 			}
 		}
 	}
@@ -362,6 +383,20 @@ func (n *Network) OnDrop(fn DropFunc) { n.onDrop = append(n.onDrop, fn) }
 // SetLossFilter installs (or clears, with nil) a per-packet loss filter
 // consulted when a node transmits.
 func (n *Network) SetLossFilter(fn LossFunc) { n.lossFilter = fn }
+
+// SetDetectionFilter installs (or clears, with nil) a failure-detector
+// suppression filter consulted before a port's believed state flips.
+func (n *Network) SetDetectionFilter(fn DetectionFilter) { n.detFilter = fn }
+
+// RescanPorts re-arms the failure detectors on every link of node, so the
+// port beliefs re-converge to the actual link state after a detection
+// fault (suppressed hellos) ends. Endpoints whose belief already matches
+// are untouched.
+func (n *Network) RescanPorts(node topo.NodeID) {
+	for _, l := range n.topo.LinksOf(node) {
+		n.scheduleDetection(l.ID)
+	}
+}
 
 // PortBelievedUp reports the node's detected state of a local port.
 func (n *Network) PortBelievedUp(node topo.NodeID, port int) bool {
@@ -459,6 +494,9 @@ func (n *Network) scheduleDetection(id topo.LinkID) {
 			if st.believedUp[end.port] == actual {
 				return
 			}
+			if n.detFilter != nil && n.detFilter(now, end.node, end.port, actual) {
+				return // suppressed: belief stays stale until a rescan
+			}
 			st.believedUp[end.port] = actual
 			// Link-usability transition: cached lookup results on this
 			// node may now bypass (or miss) the F²Tree fallback.
@@ -520,8 +558,8 @@ func (n *Network) forward(now sim.Time, node topo.NodeID, pkt *Packet) {
 //
 //f2tree:hotpath
 func (n *Network) transmit(now sim.Time, node topo.NodeID, port int, pkt *Packet) {
-	if n.lossFilter != nil && n.lossFilter(now, node, pkt) {
-		n.drop(now, node, pkt, DropLinkDown)
+	if n.lossFilter != nil && n.lossFilter(now, node, port, pkt) {
+		n.drop(now, node, pkt, DropInjected)
 		return
 	}
 	l := n.topo.LinkOnPort(node, port)

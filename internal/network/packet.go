@@ -49,6 +49,11 @@ const (
 	DropQueueOverflow
 	DropTTLExpired
 	DropNotForMe
+	// DropInjected marks packets eaten by an installed LossFunc (gray
+	// failures, chaos loss injection) — deliberately distinct from
+	// DropLinkDown so oracles can separate injected loss from structural
+	// blackholes.
+	DropInjected
 )
 
 // String names the cause.
@@ -64,6 +69,8 @@ func (c DropCause) String() string {
 		return "ttl-expired"
 	case DropNotForMe:
 		return "not-for-me"
+	case DropInjected:
+		return "injected"
 	default:
 		return "unknown"
 	}

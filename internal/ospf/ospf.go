@@ -91,6 +91,12 @@ type LSA struct {
 	Prefixes    []netaddr.Prefix
 }
 
+// FloodFilter lets fault injectors interfere with LSA flooding on the
+// from→to hop: drop swallows the LSA (it is lost like on a dead wire);
+// a non-zero delay defers its delivery by that much. The zero return
+// (false, 0) leaves the flood untouched.
+type FloodFilter func(now sim.Time, from, to topo.NodeID, lsa *LSA) (drop bool, delay time.Duration)
+
 // Domain runs one OSPF instance per switch of a network.
 type Domain struct {
 	sim  *sim.Simulator
@@ -98,8 +104,9 @@ type Domain struct {
 	topo *topo.Topology
 	cfg  Config
 
-	instances map[topo.NodeID]*Instance
-	onSPF     func(now sim.Time, node topo.NodeID)
+	instances   map[topo.NodeID]*Instance
+	onSPF       func(now sim.Time, node topo.NodeID)
+	floodFilter FloodFilter
 }
 
 // Instance is the per-router protocol state.
@@ -109,6 +116,10 @@ type Instance struct {
 
 	lsdb map[topo.NodeID]*LSA
 	seq  uint64
+	// down marks a crashed router: it neither floods, receives nor
+	// computes until restarted. seq survives the crash so post-restart
+	// LSAs supersede the pre-crash ones held by the rest of the domain.
+	down bool
 
 	// SPF throttle state.
 	pending   bool
@@ -151,6 +162,59 @@ func NewDomain(nw *network.Network, cfg Config) *Domain {
 // OnSPF registers a hook invoked after each SPF run (diagnostics).
 func (d *Domain) OnSPF(fn func(now sim.Time, node topo.NodeID)) { d.onSPF = fn }
 
+// SetFloodFilter installs (or clears, with nil) a fault filter on every
+// LSA flooding hop.
+func (d *Domain) SetFloodFilter(fn FloodFilter) { d.floodFilter = fn }
+
+// SetNodeDown crashes (down=true) or restarts (down=false) a router's
+// protocol instance. A crashed instance ignores every received LSA, floods
+// nothing and runs no SPF; its LSDB is wiped on restart — only the
+// origin-sequence counter survives, so post-restart LSAs supersede stale
+// copies elsewhere. On restart the instance re-originates from its current
+// believed port state and schedules an SPF; callers that want the rest of
+// the domain to refill the restarted LSDB follow up with RefreshAll once
+// the restarted links are believed up again.
+func (d *Domain) SetNodeDown(now sim.Time, node topo.NodeID, down bool) {
+	inst := d.instances[node]
+	if inst == nil || inst.down == down {
+		return
+	}
+	inst.down = down
+	if down {
+		return
+	}
+	inst.lsdb = make(map[topo.NodeID]*LSA)
+	inst.pending = false
+	inst.curHold = d.cfg.SPFHoldInitial
+	inst.holdUntil = 0
+	inst.wasHeld = false
+	inst.triggerAt = 0
+	inst.originate(now)
+	inst.scheduleSPF(now)
+}
+
+// NodeDown reports whether the router's instance is crashed.
+func (d *Domain) NodeDown(node topo.NodeID) bool {
+	inst := d.instances[node]
+	return inst != nil && inst.down
+}
+
+// RefreshAll makes every live instance re-originate and flood its LSA —
+// RFC 2328's periodic LSA refresh compressed into one on-demand round.
+// Chaos runs it after a window of dropped floods or a router restart, when
+// epidemic flooding alone can no longer repair LSDB staleness (our model
+// floods only on change and has no ack/retransmit machinery).
+func (d *Domain) RefreshAll(now sim.Time) {
+	for _, id := range detsort.Keys(d.instances) {
+		inst := d.instances[id]
+		if inst.down {
+			continue
+		}
+		inst.originate(now)
+		inst.scheduleSPF(now)
+	}
+}
+
 // Instance returns the protocol instance of a switch, or nil.
 func (d *Domain) Instance(node topo.NodeID) *Instance { return d.instances[node] }
 
@@ -189,8 +253,8 @@ func (d *Domain) Bootstrap() error {
 // portStateChanged reacts to a failure detector firing on a switch.
 func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up bool) {
 	inst := d.instances[node]
-	if inst == nil {
-		return // host port; no protocol
+	if inst == nil || inst.down {
+		return // host port (no protocol) or crashed router
 	}
 	inst.originate(now)
 	inst.scheduleSPF(now)
@@ -231,6 +295,9 @@ func (i *Instance) originateLocked() *LSA {
 // re-flooding through the rest of the graph still converges as long as the
 // network is connected.
 func (i *Instance) flood(now sim.Time, lsa *LSA, from topo.NodeID) {
+	if i.down {
+		return
+	}
 	for _, l := range i.d.topo.LinksOf(i.node) {
 		other, ok := l.Other(i.node)
 		if !ok || other == from {
@@ -243,9 +310,17 @@ func (i *Instance) flood(now sim.Time, lsa *LSA, from topo.NodeID) {
 		if !i.d.nw.PortBelievedUp(i.node, port) {
 			continue
 		}
+		var extra time.Duration
+		if i.d.floodFilter != nil {
+			drop, delay := i.d.floodFilter(now, i.node, other, lsa)
+			if drop {
+				continue // swallowed by the fault, like a dead wire
+			}
+			extra = delay
+		}
 		linkID := l.ID
 		neighbor := other
-		i.d.sim.After(i.d.cfg.FloodHopDelay, func(at sim.Time) {
+		i.d.sim.After(i.d.cfg.FloodHopDelay+extra, func(at sim.Time) {
 			if !i.d.nw.LinkDirUp(linkID, i.node) {
 				return // lost on a dead wire
 			}
@@ -258,6 +333,9 @@ func (i *Instance) flood(now sim.Time, lsa *LSA, from topo.NodeID) {
 
 // receive processes a flooded LSA.
 func (i *Instance) receive(now sim.Time, lsa *LSA, from topo.NodeID) {
+	if i.down {
+		return // crashed: the LSA is lost on the floor
+	}
 	cur := i.lsdb[lsa.Origin]
 	if cur != nil && cur.Seq >= lsa.Seq {
 		return // stale or duplicate
@@ -289,6 +367,9 @@ func (i *Instance) scheduleSPF(now sim.Time) {
 // runSPF computes routes and schedules the FIB install.
 func (i *Instance) runSPF(now sim.Time) {
 	i.pending = false
+	if i.down {
+		return // crashed between trigger and timer
+	}
 	if wait := now.Sub(i.triggerAt); i.triggerAt > 0 && wait > i.maxWait {
 		i.maxWait = wait
 	}
@@ -309,7 +390,11 @@ func (i *Instance) runSPF(now sim.Time) {
 	routes := i.computeRoutes()
 	i.d.sim.After(i.d.cfg.FIBUpdateDelay, func(at sim.Time) {
 		// Last-writer-wins is correct: installs are scheduled in SPF
-		// order.
+		// order. A crash between SPF and install loses the update, as a
+		// real switch would.
+		if i.down {
+			return
+		}
 		_ = i.d.nw.Table(i.node).ReplaceSource(fib.OSPF, routes)
 	})
 	if i.d.onSPF != nil {

@@ -78,7 +78,7 @@ type Report struct {
 	Drops    uint64       `json:"drops"`
 }
 
-// Parse decodes a scenario document.
+// Parse decodes and validates a scenario document.
 func Parse(r io.Reader) (*Scenario, error) {
 	var sc Scenario
 	dec := json.NewDecoder(r)
@@ -86,13 +86,78 @@ func Parse(r io.Reader) (*Scenario, error) {
 	if err := dec.Decode(&sc); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	if sc.Scheme == "" || sc.Ports == 0 {
-		return nil, fmt.Errorf("scenario: scheme and ports are required")
-	}
-	if len(sc.Flows) == 0 {
-		return nil, fmt.Errorf("scenario: at least one flow is required")
+	if err := sc.Validate(); err != nil {
+		return nil, err
 	}
 	return &sc, nil
+}
+
+// Validate checks the document's structural and referential integrity
+// without building the topology: required fields, action and condition
+// labels, flow references, event times within the horizon, and duplicate
+// flows. Node-name references still resolve at Run time, since they need
+// the topology.
+func (sc *Scenario) Validate() error {
+	if sc.Scheme == "" || sc.Ports == 0 {
+		return fmt.Errorf("scenario: scheme and ports are required")
+	}
+	switch strings.ToLower(sc.ControlPlane) {
+	case "", "ospf", "bgp", "centralized":
+	default:
+		return fmt.Errorf("scenario: unknown control plane %q", sc.ControlPlane)
+	}
+	if sc.HorizonMs < 0 {
+		return fmt.Errorf("scenario: negative horizon %d ms", sc.HorizonMs)
+	}
+	if len(sc.Flows) == 0 {
+		return fmt.Errorf("scenario: at least one flow is required")
+	}
+	seen := make(map[string]int, len(sc.Flows))
+	for i, f := range sc.Flows {
+		if f.Src == "" || f.Dst == "" {
+			return fmt.Errorf("scenario: flow %d: src and dst are required", i)
+		}
+		if f.SizeBytes < 0 || f.IntervalUs < 0 {
+			return fmt.Errorf("scenario: flow %d: negative size or interval", i)
+		}
+		key := f.Src + "\x00" + f.Dst
+		if j, dup := seen[key]; dup {
+			return fmt.Errorf("scenario: flow %d duplicates flow %d (%s → %s)", i, j, f.Src, f.Dst)
+		}
+		seen[key] = i
+	}
+	horizon := int64(2000)
+	if sc.HorizonMs > 0 {
+		horizon = sc.HorizonMs
+	}
+	for i, ev := range sc.Events {
+		if ev.AtMs < 0 {
+			return fmt.Errorf("scenario: event %d: negative time %d ms", i, ev.AtMs)
+		}
+		if ev.AtMs > horizon {
+			return fmt.Errorf("scenario: event %d: %d ms is past the %d ms horizon", i, ev.AtMs, horizon)
+		}
+		switch ev.Action {
+		case "fail-condition":
+			if _, err := parseCondition(ev.Condition); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+			if ev.Flow < 0 || ev.Flow >= len(sc.Flows) {
+				return fmt.Errorf("scenario: event %d: flow %d out of range [0,%d)", i, ev.Flow, len(sc.Flows))
+			}
+		case "fail-link", "restore-link":
+			if ev.A == "" || ev.B == "" {
+				return fmt.Errorf("scenario: event %d: %s needs endpoints a and b", i, ev.Action)
+			}
+		case "fail-switch":
+			if ev.Node == "" {
+				return fmt.Errorf("scenario: event %d: fail-switch needs a node", i)
+			}
+		default:
+			return fmt.Errorf("scenario: event %d: unknown action %q", i, ev.Action)
+		}
+	}
+	return nil
 }
 
 // Run executes the scenario.
@@ -218,7 +283,7 @@ func Run(sc *Scenario) (*Report, error) {
 			}
 			cond, err := parseCondition(ev.Condition)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("scenario: %w", err)
 			}
 			fr := runs[ev.Flow]
 			lab.Sim.At(at, func(sim.Time) {
@@ -303,7 +368,7 @@ func parseCondition(s string) (failure.Condition, error) {
 			return c, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown condition %q", s)
+	return 0, fmt.Errorf("unknown condition %q", s)
 }
 
 // WriteReport renders the report as indented JSON.

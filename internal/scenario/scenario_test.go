@@ -29,6 +29,61 @@ func TestParseRejectsBadDocuments(t *testing.T) {
 	}
 }
 
+func TestParseValidatesReferences(t *testing.T) {
+	cases := map[string]string{
+		"unknown action": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"explode"}]}`,
+		"malformed condition": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"fail-condition","condition":"C99","flow":0}]}`,
+		"condition not a label": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"fail-condition","condition":"banana","flow":0}]}`,
+		"flow index out of range": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"fail-condition","condition":"C1","flow":7}]}`,
+		"negative flow index": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"fail-condition","condition":"C1","flow":-1}]}`,
+		"duplicate flows": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"},
+			         {"src":"leftmost","dst":"rightmost"}]}`,
+		"negative event time": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":-5,"action":"fail-switch","node":"agg-p0-0"}]}`,
+		"event past horizon": `{"scheme":"f2tree","ports":8,"horizonMs":500,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":900,"action":"fail-switch","node":"agg-p0-0"}]}`,
+		"event past default horizon": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":2500,"action":"fail-switch","node":"agg-p0-0"}]}`,
+		"fail-link missing endpoint": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"fail-link","a":"agg-p0-0"}]}`,
+		"fail-switch missing node": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost"}],
+			"events":[{"atMs":1,"action":"fail-switch"}]}`,
+		"flow missing dst": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost"}]}`,
+		"negative flow interval": `{"scheme":"f2tree","ports":8,
+			"flows":[{"src":"leftmost","dst":"rightmost","intervalUs":-3}]}`,
+		"unknown control plane": `{"scheme":"f2tree","ports":8,"controlPlane":"rip",
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"negative horizon": `{"scheme":"f2tree","ports":8,"horizonMs":-1,
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Parse accepted %s", name, doc)
+		}
+	}
+	// Reverse flows are distinct, not duplicates.
+	parseOK(t, `{"scheme":"f2tree","ports":8,
+		"flows":[{"src":"leftmost","dst":"rightmost"},
+		         {"src":"rightmost","dst":"leftmost"}]}`)
+}
+
 func TestRunConditionScenario(t *testing.T) {
 	sc := parseOK(t, `{
 		"scheme": "f2tree", "ports": 8, "seed": 1,

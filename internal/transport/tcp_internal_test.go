@@ -94,7 +94,7 @@ func TestDupAckThresholdIsThree(t *testing.T) {
 	// Drop the first data segment; only TWO further segments follow — not
 	// enough dupacks for fast retransmit, so recovery must be an RTO.
 	dropped := false
-	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, pkt *network.Packet) bool {
+	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, _ int, pkt *network.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
 		if !ok || dropped || at != r.a.Host() {
 			return false

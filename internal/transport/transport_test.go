@@ -155,7 +155,7 @@ func TestTCPFastRetransmitOnSingleLoss(t *testing.T) {
 	}
 	// Drop exactly one data segment (the 4th MSS) once, at the sender host.
 	dropped := false
-	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, pkt *network.Packet) bool {
+	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, _ int, pkt *network.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
 		if !ok || dropped || at != r.a.Host() {
 			return false
@@ -280,7 +280,7 @@ func TestTCPRTOExponentialBackoff(t *testing.T) {
 func TestTCPSynLossRecovers(t *testing.T) {
 	r := newRig(t)
 	dropped := 0
-	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, pkt *network.Packet) bool {
+	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, _ int, pkt *network.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
 		if ok && seg.SYN && !seg.ACK && dropped == 0 {
 			dropped++
@@ -410,7 +410,7 @@ func TestTCPOutOfOrderBuffering(t *testing.T) {
 		t.Fatal(err)
 	}
 	dropped := false
-	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, pkt *network.Packet) bool {
+	r.nw.SetLossFilter(func(_ sim.Time, at topo.NodeID, _ int, pkt *network.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
 		if !ok || dropped || at != r.a.Host() {
 			return false
@@ -443,7 +443,7 @@ func TestConnCloseCancelsTimers(t *testing.T) {
 	r := newRig(t)
 	// Dial a host that never answers (drop SYNs): pending SYN timer must
 	// die with Close so the simulation drains.
-	r.nw.SetLossFilter(func(_ sim.Time, _ topo.NodeID, pkt *network.Packet) bool {
+	r.nw.SetLossFilter(func(_ sim.Time, _ topo.NodeID, _ int, pkt *network.Packet) bool {
 		_, ok := pkt.Payload.(*Segment)
 		return ok
 	})
