@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet f2tree-vet vet-audit race check chaos-smoke bench bench-campaign bench-hotpath
+.PHONY: build test vet fmt-check f2tree-vet vet-audit vet-cache-smoke race check chaos-smoke bench bench-campaign bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -13,21 +13,38 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
 # The determinism and contract gate: stock go vet plus the analyzers from
 # internal/analysis — mapiter, simclock, lockcheck, poolcheck, hotpathalloc,
-# epochcheck, handlecheck (see README "Determinism gate").
+# epochcheck, handlecheck, shardcheck — run in parallel dependency order
+# with cross-package fact propagation (see README "Determinism gate").
 f2tree-vet:
 	$(GO) run ./cmd/f2tree-vet ./...
 
 # Suppression audit: inventory every //f2tree: directive and fail on stale
-# suppressions, unknown verbs and missing justifications.
+# suppressions, unknown verbs and missing justifications. Runs through the
+# same fact-propagating graph driver, so interprocedural findings keep
+# their seams (//f2tree:shardport and friends) live.
 vet-audit:
 	$(GO) run ./cmd/f2tree-vet -novet -audit ./...
+
+# Result-cache smoke: a warm second run must be all cache hits and replay
+# the findings byte-identically (CI runs the same check).
+vet-cache-smoke:
+	rm -rf .vetcache
+	$(GO) run ./cmd/f2tree-vet -novet -json -cachedir .vetcache ./... > .vetcache-cold.json 2> .vetcache-cold.log
+	$(GO) run ./cmd/f2tree-vet -novet -json -cachedir .vetcache ./... > .vetcache-warm.json 2> .vetcache-warm.log
+	cmp .vetcache-cold.json .vetcache-warm.json
+	grep -q ' 0 miss(es)' .vetcache-warm.log
+	rm -rf .vetcache .vetcache-cold.json .vetcache-warm.json .vetcache-cold.log .vetcache-warm.log
 
 race:
 	$(GO) test -race ./...
 
-check: build f2tree-vet vet-audit race
+check: build fmt-check f2tree-vet vet-audit race
 
 # Fixed-seed chaos fuzz across all three control planes, checked by the
 # invariant oracles (internal/chaos). Any violation is shrunk to a minimal

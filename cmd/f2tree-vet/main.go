@@ -1,21 +1,36 @@
 // Command f2tree-vet is the repository's determinism, contract and
 // lifecycle static-analysis gate. It runs the stock `go vet` passes and
 // then the custom analyzers from internal/analysis — mapiter, simclock,
-// lockcheck, poolcheck, hotpathalloc, epochcheck and handlecheck — over
-// the simulation, routing and command packages, and exits non-zero on any
-// finding. CI runs it between `go vet` and the race-enabled tests:
+// lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck and
+// shardcheck — over every non-test package in the module, and exits
+// non-zero on any finding. Packages are analyzed in parallel dependency
+// order: each package runs only after its dependencies, so the facts they
+// export (allocates-on-steady-path, reads-wall-clock, shardlocal, ...)
+// are complete when its pass starts, making the analyzers transitive
+// across package boundaries. CI runs it between `go vet` and the
+// race-enabled tests:
 //
 //	go run ./cmd/f2tree-vet ./...
 //
 // Flags:
 //
-//	-novet   skip the stock go vet passes (custom analyzers only)
-//	-list    print the analyzers and the in-scope packages, then exit
-//	-all     lift the scope filter (analyze every matched package)
-//	-json    emit findings (or the -audit inventory) as JSON on stdout
-//	-audit   inventory every //f2tree: directive and fail on stale
-//	         suppressions, unknown verbs and missing justifications
-//	-v       report each package as it is analyzed
+//	-novet       skip the stock go vet passes (custom analyzers only)
+//	-list        print the analyzers and the in-scope packages, then exit
+//	-all         lift the scope filter (analyze every matched package)
+//	-json        emit findings (or the -audit inventory) as JSON on stdout
+//	-audit       inventory every //f2tree: directive and fail on stale
+//	             suppressions, unknown verbs and missing justifications
+//	-j N         analysis parallelism (0 = GOMAXPROCS); results are
+//	             byte-identical at any setting
+//	-cachedir D  result-cache directory (default os.UserCacheDir()/f2tree-vet)
+//	-nocache     disable the result cache
+//	-v           report each package as it is analyzed, plus cache stats
+//
+// Results are cached per package under a content hash covering the
+// package's source bytes, the analyzer set, the mode flags and the facts
+// of every transitive dependency — editing an upstream annotation
+// invalidates every downstream entry, and a warm run replays findings
+// byte-identically.
 //
 // Exit codes: 0 clean, 1 findings (or audit defects), 2 operational
 // error — including a package pattern that matches nothing in scope, so a
@@ -36,20 +51,13 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-// finding is the JSON shape of one diagnostic.
-type finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Package  string `json:"package"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-}
-
-// jsonReport is the -json output for a normal (non-audit) run.
+// jsonReport is the -json output for a normal (non-audit) run: the flat
+// finding list plus each package's exported facts (the whole-program
+// inventory downstream tooling consumes).
 type jsonReport struct {
-	Findings []finding `json:"findings"`
-	Count    int       `json:"count"`
+	Findings []analysis.Finding         `json:"findings"`
+	Count    int                        `json:"count"`
+	Facts    map[string][]analysis.Fact `json:"facts"`
 }
 
 func run(args []string) int {
@@ -59,12 +67,16 @@ func run(args []string) int {
 	all := fs.Bool("all", false, "run the analyzers on every listed package, not just the in-scope ones")
 	jsonOut := fs.Bool("json", false, "emit findings (or the audit inventory) as JSON on stdout")
 	audit := fs.Bool("audit", false, "audit //f2tree: directives instead of reporting findings")
-	verbose := fs.Bool("v", false, "report each package as it is analyzed")
+	workers := fs.Int("j", 0, "analysis parallelism (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cachedir", "", "result-cache directory (default: user cache dir)")
+	noCache := fs.Bool("nocache", false, "disable the per-package result cache")
+	verbose := fs.Bool("v", false, "report each package as it is analyzed, plus cache stats")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: f2tree-vet [flags] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs go vet plus the determinism/contract analyzers (mapiter, simclock,\n")
-		fmt.Fprintf(fs.Output(), "lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck) over the\n")
-		fmt.Fprintf(fs.Output(), "simulation, routing and command packages. Default package pattern: ./...\n\n")
+		fmt.Fprintf(fs.Output(), "lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck, shardcheck)\n")
+		fmt.Fprintf(fs.Output(), "in parallel dependency order with cross-package fact propagation.\n")
+		fmt.Fprintf(fs.Output(), "Default package pattern: ./...\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -107,50 +119,63 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "f2tree-vet: %v\n", err)
 		return 2
 	}
-	var scoped []*analysis.Package
+	inScope := func(path string) bool { return *all || analysis.InScope(path) }
+	scoped := 0
 	for _, pkg := range pkgs {
-		if *all || analysis.InScope(pkg.ImportPath) {
-			scoped = append(scoped, pkg)
+		if !pkg.DepOnly && inScope(pkg.ImportPath) {
+			scoped++
 		}
 	}
-	if len(scoped) == 0 {
+	if scoped == 0 {
 		fmt.Fprintf(os.Stderr,
 			"f2tree-vet: no packages to analyze: %v matched %d package(s), none in scope (use -all to lift the scope filter, -list to see it)\n",
 			patterns, len(pkgs))
 		return 2
 	}
 
+	var disk *analysis.DiskCache
+	var cache analysis.Cache
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = analysis.DefaultCacheDir()
+		}
+		if dir != "" {
+			disk = &analysis.DiskCache{Dir: dir}
+			cache = disk
+		}
+	}
+	opt := analysis.RunOptions{InScope: inScope, Workers: *workers, Cache: cache}
+
 	if *audit {
-		return runAudit(scoped, *jsonOut)
+		return runAudit(pkgs, opt, *jsonOut)
 	}
 
-	var report jsonReport
-	for _, pkg := range scoped {
+	results, err := analysis.RunGraph(pkgs, analysis.Analyzers(), opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f2tree-vet: %v\n", err)
+		return 2
+	}
+
+	report := jsonReport{Facts: make(map[string][]analysis.Fact)}
+	for _, r := range results {
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "f2tree-vet: analyzing %s\n", pkg.ImportPath)
+			status := "analyzed"
+			if r.CacheHit {
+				status = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "f2tree-vet: %s %s\n", status, r.ImportPath)
 		}
-		for _, a := range analysis.Analyzers() {
-			diags, err := analysis.RunAnalyzer(a, pkg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "f2tree-vet: %s: %v\n", pkg.ImportPath, err)
-				return 2
+		if len(r.Facts) > 0 {
+			report.Facts[r.ImportPath] = r.Facts
+		}
+		for _, f := range r.Findings {
+			if *jsonOut {
+				report.Findings = append(report.Findings, f)
+			} else {
+				fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
 			}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				if *jsonOut {
-					report.Findings = append(report.Findings, finding{
-						File:     pos.Filename,
-						Line:     pos.Line,
-						Column:   pos.Column,
-						Package:  pkg.ImportPath,
-						Analyzer: d.Analyzer,
-						Message:  d.Message,
-					})
-				} else {
-					fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
-				}
-				report.Count++
-			}
+			report.Count++
 		}
 	}
 	if *jsonOut {
@@ -162,6 +187,9 @@ func run(args []string) int {
 			return 2
 		}
 	}
+	if disk != nil {
+		fmt.Fprintf(os.Stderr, "f2tree-vet: cache: %s\n", disk.Summary())
+	}
 	if report.Count > 0 {
 		fmt.Fprintf(os.Stderr, "f2tree-vet: %d finding(s)\n", report.Count)
 		failed = true
@@ -172,11 +200,13 @@ func run(args []string) int {
 	return 0
 }
 
-// runAudit inventories the //f2tree: directives of the scoped packages
+// runAudit inventories the //f2tree: directives of the in-scope packages
 // and fails on stale suppressions, unknown verbs and suppressions with no
-// justification.
-func runAudit(pkgs []*analysis.Package, jsonOut bool) int {
-	res, err := analysis.Audit(pkgs)
+// justification. The audit re-runs the analyzers through the same graph
+// driver with suppression disabled, so an interprocedural finding (a
+// shardport seam, a transitive wallclock call) keeps its directive live.
+func runAudit(pkgs []*analysis.Package, opt analysis.RunOptions, jsonOut bool) int {
+	res, err := analysis.Audit(pkgs, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "f2tree-vet: audit: %v\n", err)
 		return 2

@@ -54,6 +54,7 @@ func TestDetectsViolations(t *testing.T) {
 		"../../internal/analysis/testdata/src/hotpathalloc",
 		"../../internal/analysis/testdata/src/epochcheck",
 		"../../internal/analysis/testdata/src/handlecheck",
+		"../../internal/analysis/testdata/src/shardcheck",
 	} {
 		args := []string{"-novet", "-all", dir}
 		if code := run(args); code != 1 {

@@ -96,7 +96,16 @@ type Pass struct {
 	KeepSuppressed bool
 
 	// dirs caches each file's directive lines.
-	dirs map[*ast.File]map[int]string
+	dirs map[*ast.File]map[int][]string
+
+	// ImportedFacts holds the facts exported by the package's (transitive)
+	// dependencies, keyed by symbol. Nil when the pass runs outside the
+	// graph driver (single-package fixture tests); analyzers must treat nil
+	// as "no facts".
+	ImportedFacts FactSet
+	// ExportFact records a fact about a package-level symbol so downstream
+	// packages can consume it. Nil outside the graph driver.
+	ExportFact func(obj types.Object, kind string)
 }
 
 // Diagnostic is one finding.
@@ -118,12 +127,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // fileDirectives returns file's directive-line index, cached per pass.
-func (p *Pass) fileDirectives(file *ast.File) map[int]string {
+func (p *Pass) fileDirectives(file *ast.File) map[int][]string {
 	if d, ok := p.dirs[file]; ok {
 		return d
 	}
 	if p.dirs == nil {
-		p.dirs = make(map[*ast.File]map[int]string)
+		p.dirs = make(map[*ast.File]map[int][]string)
 	}
 	d := directiveLines(p.Fset, file)
 	p.dirs[file] = d
@@ -162,24 +171,27 @@ const directivePrefix = "f2tree:"
 
 // directiveLines collects, per line, the f2tree directives of a file
 // ("unordered", "sharedstate", ...) mapped from the line on which each
-// comment ends. A directive suppresses a finding on its own line or the
-// line immediately below, so both trailing comments and comments on the
-// preceding line work:
+// comment ends. A line may carry more than one directive (a marker plus a
+// suppression, or two suppressions silencing different analyzers), so each
+// line maps to the list of its directives in source order. A directive
+// suppresses a finding on its own line or the line immediately below, so
+// both trailing comments and comments on the preceding line work:
 //
 //	//f2tree:unordered set union; content is order-independent
 //	for k := range m { ... }
-func directiveLines(fset *token.FileSet, file *ast.File) map[int]string {
-	out := make(map[int]string)
+func directiveLines(fset *token.FileSet, file *ast.File) map[int][]string {
+	out := make(map[int][]string)
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
 			text = strings.TrimSpace(text)
 			if !strings.HasPrefix(text, directivePrefix) {
 				continue
 			}
 			line := fset.Position(c.End()).Line
-			out[line] = strings.TrimPrefix(text, directivePrefix)
+			out[line] = append(out[line], strings.TrimPrefix(text, directivePrefix))
 		}
 	}
 	return out
@@ -187,10 +199,10 @@ func directiveLines(fset *token.FileSet, file *ast.File) map[int]string {
 
 // suppressed reports whether a directive with the given verb ("unordered",
 // "sharedstate") covers the node starting at pos.
-func suppressed(dirs map[int]string, fset *token.FileSet, pos token.Pos, verb string) bool {
+func suppressed(dirs map[int][]string, fset *token.FileSet, pos token.Pos, verb string) bool {
 	line := fset.Position(pos).Line
 	for _, l := range [2]int{line, line - 1} {
-		if d, ok := dirs[l]; ok {
+		for _, d := range dirs[l] {
 			if d == verb || strings.HasPrefix(d, verb+" ") {
 				return true
 			}
@@ -219,4 +231,38 @@ func rootIdent(e ast.Expr) *ast.Ident {
 			return nil
 		}
 	}
+}
+
+// objectOf resolves an identifier to its object, whether it defines or
+// uses it (:= vs =).
+func objectOf(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isBuiltin reports whether the identifier resolves to a builtin.
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// lvalueLabel renders a short label for a store target.
+func lvalueLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if root := rootIdent(x); root != nil {
+			return "field " + root.Name + "." + x.Sel.Name
+		}
+		return "a field"
+	case *ast.IndexExpr:
+		if root := rootIdent(x); root != nil {
+			return "element of " + root.Name
+		}
+		return "a slice/map element"
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	}
+	return "a non-local location"
 }

@@ -33,9 +33,13 @@ import (
 )
 
 // wantRE matches one quoted expectation after a `// want` marker.
+//
+//f2tree:sharedstate compiled regexp is immutable and safe for concurrent use; flagged only for its pointer-receiver method calls
 var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 // exportCache memoizes `go list -export` runs across tests in a process.
+//
+//f2tree:sharedstate process-wide mutex-guarded memo for the test harness; never lives inside a simulation
 var exportCache struct {
 	sync.Mutex
 	m map[string]map[string]string
@@ -73,6 +77,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 
 	// Resolve fixture imports (stdlib only) via compiler export data.
 	paths := make([]string, 0, len(importSet))
+	//f2tree:unordered collected paths are sorted on the next line
 	for p := range importSet {
 		paths = append(paths, p)
 	}
@@ -105,6 +110,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 
 	want := expectations(t, fset, files)
+	//f2tree:unordered per-key matching is independent; only t.Errorf order varies
 	for key, res := range want {
 		msgs := got[key]
 		for _, re := range res {
@@ -125,6 +131,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		}
 		delete(got, key)
 	}
+	//f2tree:unordered per-key reporting is independent; only t.Errorf order varies
 	for key, msgs := range got {
 		t.Errorf("%s: unexpected diagnostics %v", key, msgs)
 	}

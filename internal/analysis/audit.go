@@ -16,6 +16,7 @@ const (
 	VerbAlloc       = "alloc"       // hotpathalloc
 	VerbNoEpoch     = "noepoch"     // epochcheck
 	VerbHandle      = "handle"      // handlecheck
+	VerbShardPort   = "shardport"   // shardcheck
 )
 
 // Marker verbs: they declare a contract instead of suppressing a finding
@@ -27,6 +28,7 @@ const (
 	VerbEpoch        = "epoch"
 	VerbEpochGuarded = "epochguarded"
 	VerbEpochBump    = "epochbump"
+	VerbShardLocal   = "shardlocal"
 )
 
 // suppressionAnalyzer maps each suppression verb to the analyzer it
@@ -39,6 +41,7 @@ var suppressionAnalyzer = map[string]string{
 	VerbAlloc:       "hotpathalloc",
 	VerbNoEpoch:     "epochcheck",
 	VerbHandle:      "handlecheck",
+	VerbShardPort:   "shardcheck",
 }
 
 // markerVerbs is the set of non-suppressing directive verbs.
@@ -48,6 +51,7 @@ var markerVerbs = map[string]bool{
 	VerbEpoch:        true,
 	VerbEpochGuarded: true,
 	VerbEpochBump:    true,
+	VerbShardLocal:   true,
 }
 
 // DirectiveKind classifies a //f2tree: directive.
@@ -96,39 +100,44 @@ func (r *AuditResult) Clean() bool {
 	return len(r.Stale) == 0 && len(r.Unknown) == 0 && len(r.Unjustified) == 0
 }
 
-// Audit inventories every //f2tree: directive in the given packages and
+// Audit inventories every //f2tree: directive in the in-scope packages and
 // verifies each suppression still suppresses something: the analyzers are
-// re-run with suppression disabled (KeepSuppressed), and a suppression
-// directive with no matching finding on its line or the line below is
-// reported stale. Unknown verbs (typos) and suppressions without a reason
-// are defects too.
-func Audit(pkgs []*Package) (*AuditResult, error) {
+// re-run through the dependency-ordered graph driver with suppression
+// disabled (KeepSuppressed) — so interprocedural findings count as
+// coverage too — and a suppression directive with no matching finding on
+// its line or the line below is reported stale. Unknown verbs (typos) and
+// suppressions without a reason are defects too. opt.KeepSuppressed is
+// forced on; opt.InScope, Workers and Cache are honored.
+func Audit(pkgs []*Package, opt RunOptions) (*AuditResult, error) {
+	opt.KeepSuppressed = true
+	results, err := RunGraph(pkgs, Analyzers(), opt)
+	if err != nil {
+		return nil, err
+	}
+	// Collect every finding, suppressed or not, keyed by file:line.
+	type lineKey struct {
+		file string
+		line int
+	}
+	findings := make(map[lineKey]map[string]bool) // → verbs present
+	for _, r := range results {
+		for _, f := range r.Findings {
+			if f.Verb == "" {
+				continue
+			}
+			k := lineKey{f.File, f.Line}
+			if findings[k] == nil {
+				findings[k] = make(map[string]bool)
+			}
+			findings[k][f.Verb] = true
+		}
+	}
+
 	res := &AuditResult{}
 	for _, pkg := range pkgs {
-		// Collect every finding, suppressed or not, keyed by file:line.
-		type lineKey struct {
-			file string
-			line int
+		if pkg.DepOnly || (opt.InScope != nil && !opt.InScope(pkg.ImportPath)) {
+			continue
 		}
-		findings := make(map[lineKey]map[string]bool) // → verbs present
-		for _, a := range Analyzers() {
-			diags, err := runAnalyzerKeepSuppressed(a, pkg)
-			if err != nil {
-				return nil, err
-			}
-			for _, d := range diags {
-				if d.Verb == "" {
-					continue
-				}
-				pos := pkg.Fset.Position(d.Pos)
-				k := lineKey{pos.Filename, pos.Line}
-				if findings[k] == nil {
-					findings[k] = make(map[string]bool)
-				}
-				findings[k][d.Verb] = true
-			}
-		}
-
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
@@ -197,26 +206,6 @@ func parseDirective(comment string) (verb, reason string, ok bool) {
 	rest := strings.TrimPrefix(text, directivePrefix)
 	verb, reason, _ = strings.Cut(rest, " ")
 	return verb, strings.TrimSpace(reason), verb != ""
-}
-
-// runAnalyzerKeepSuppressed is RunAnalyzer with suppression disabled, for
-// the audit: suppressed findings come back marked instead of dropped.
-func runAnalyzerKeepSuppressed(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:       a,
-		Fset:           pkg.Fset,
-		Files:          pkg.Files,
-		Pkg:            pkg.Types,
-		TypesInfo:      pkg.TypesInfo,
-		KeepSuppressed: true,
-		Report:         func(d Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %v", a.Name, err)
-	}
-	sortDiagnostics(pkg.Fset, diags)
-	return diags, nil
 }
 
 // Describe renders a directive as "file:line verb(analyzer): reason".

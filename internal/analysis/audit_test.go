@@ -74,7 +74,7 @@ func verbs(ds []analysis.Directive) []string {
 // unjustified one, one stale one, one unknown verb and one marker.
 func TestAuditDefects(t *testing.T) {
 	pkg := loadFixturePkg(t, "audit")
-	res, err := analysis.Audit([]*analysis.Package{pkg})
+	res, err := analysis.Audit([]*analysis.Package{pkg}, analysis.RunOptions{})
 	if err != nil {
 		t.Fatalf("Audit: %v", err)
 	}
@@ -116,7 +116,7 @@ func TestAuditDefects(t *testing.T) {
 // poolcheck fixture) audits clean.
 func TestAuditClean(t *testing.T) {
 	pkg := loadFixturePkg(t, "poolcheck")
-	res, err := analysis.Audit([]*analysis.Package{pkg})
+	res, err := analysis.Audit([]*analysis.Package{pkg}, analysis.RunOptions{})
 	if err != nil {
 		t.Fatalf("Audit: %v", err)
 	}

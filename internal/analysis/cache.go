@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+)
+
+// The result cache follows the campaign store's conventions: content is
+// identified by a sha256 hash rendered as 16 hex characters (64 bits —
+// readable keys, implausible accidental collisions within one run), and
+// 64-bit folding goes through the splitmix64 finalizer, the same mixer the
+// per-run seed derivation uses (internal/sim/seed.go).
+
+// contentHash accumulates (name, content) pairs into a 16-hex-char digest.
+type contentHash struct{ h hash.Hash }
+
+func newContentHash() contentHash { return contentHash{h: sha256.New()} }
+
+// add mixes one labeled byte chunk, length-prefixed so chunk boundaries
+// are part of the digest (add("a","bc") differs from add("ab","c")).
+func (c contentHash) add(name string, content []byte) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(name)))
+	c.h.Write(n[:])
+	c.h.Write([]byte(name))
+	binary.LittleEndian.PutUint64(n[:], uint64(len(content)))
+	c.h.Write(n[:])
+	c.h.Write(content)
+}
+
+func (c contentHash) addString(name, content string) { c.add(name, []byte(content)) }
+
+// sum finalizes the digest: the first 64 bits of the sha256, passed once
+// more through splitmix64, as 16 hex characters.
+func (c contentHash) sum() string {
+	sum := c.h.Sum(nil)
+	folded := splitmix64(binary.LittleEndian.Uint64(sum[:8]))
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], folded)
+	return hex.EncodeToString(out[:])
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — the repo's
+// standard 64-bit mixer (see internal/sim/seed.go for the seed-derivation
+// twin of this function).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Cache stores per-package analysis results keyed by content hash. A Get
+// must only return a result that a Put stored under the same key; the
+// graph driver computes keys that cover everything a package's findings
+// and facts depend on (source bytes, analyzer set, mode flags and the
+// facts of every transitive dependency), so a hit is always safe to reuse.
+type Cache interface {
+	Get(key string) (*PkgResult, bool)
+	Put(key string, res *PkgResult)
+}
+
+// DiskCache is the Cache the f2tree-vet driver uses: one JSON file per
+// entry under Dir, written atomically (temp file + rename) so concurrent
+// runs sharing a directory never observe a torn entry. Reads and writes
+// are best-effort — a corrupt or unreadable entry is a miss, and a failed
+// write leaves the cache cold but the run correct.
+type DiskCache struct {
+	Dir string
+
+	// Hits and Misses count Get outcomes, for the driver's cache summary
+	// (and the CI warm-run smoke check). Not synchronized internally: the
+	// graph driver serializes cache calls.
+	Hits, Misses int
+}
+
+// Get loads the entry for key, counting the outcome.
+func (c *DiskCache) Get(key string) (*PkgResult, bool) {
+	b, err := os.ReadFile(filepath.Join(c.Dir, key+".json"))
+	if err != nil {
+		c.Misses++
+		return nil, false
+	}
+	var res PkgResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		c.Misses++
+		return nil, false
+	}
+	c.Hits++
+	return &res, true
+}
+
+// Put stores res under key.
+func (c *DiskCache) Put(key string, res *PkgResult) {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	os.Rename(tmp.Name(), filepath.Join(c.Dir, key+".json"))
+}
+
+// Summary renders the hit/miss counts for the driver's stderr line.
+func (c *DiskCache) Summary() string {
+	return fmt.Sprintf("%d hit(s), %d miss(es)", c.Hits, c.Misses)
+}
+
+// DefaultCacheDir returns the standard on-disk cache location
+// (os.UserCacheDir()/f2tree-vet), or "" if the platform reports no user
+// cache directory — the driver then runs uncached.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "f2tree-vet")
+}

@@ -102,6 +102,7 @@ func (hc *handleChecker) walkStmts(stmts []ast.Stmt, dead map[string]bool) {
 
 func copyDead(dead map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(dead))
+	//f2tree:unordered map copy; the result is a map, order cannot leak
 	for k, v := range dead {
 		out[k] = v
 	}

@@ -21,17 +21,22 @@ import (
 //     capacity (make with an explicit cap, or a slice of a fixed-size
 //     scratch array),
 //   - string concatenation,
-//   - calls to same-package helpers that allocate (make/new/append/
-//     closure/concat/map-or-slice literal in their body) without being
-//     hotpath themselves — hotpath callees are checked directly, and
-//     cross-package calls are out of an intraprocedural analyzer's reach.
+//   - calls to helpers that allocate without being hotpath themselves.
+//     The "allocates" summary is transitive: it starts from the syntax of
+//     each body (make/new/append/closure/concat/map-or-slice literal) and
+//     closes over same-package calls and the allocates-on-steady-path
+//     facts exported by dependency packages — so a hotpath function
+//     calling an allocating helper two packages away is a finding.
+//     Hotpath callees are exempt at any distance: their own bodies are
+//     checked where they are declared (cross-package via the hotpath
+//     fact), and their audited //f2tree:alloc sites do not poison callers.
 //
 // Amortized growth (a pool's own free list, the event heap) and genuinely
 // cold branches inside hot functions are annotated `//f2tree:alloc
 // <reason>` — the audited, reviewable exceptions.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "forbids allocation (closures, boxing, unpreallocated append, string concat, allocating helpers) in //f2tree:hotpath functions",
+	Doc:  "forbids allocation (closures, boxing, unpreallocated append, string concat, transitively allocating helpers) in //f2tree:hotpath functions",
 	Run:  runHotPathAlloc,
 }
 
@@ -42,9 +47,11 @@ type hotFnInfo struct {
 }
 
 func runHotPathAlloc(pass *Pass) error {
-	// Pass 1: classify every function declaration — hotpath marker and a
-	// syntactic "allocates" summary.
+	// Pass 1: classify every function declaration — hotpath marker, a
+	// syntactic "allocates" summary, and its statically resolvable callees.
 	info := make(map[*types.Func]hotFnInfo)
+	calls := make(map[*types.Func][]*types.Func)
+	var order []*types.Func
 	type hotFn struct {
 		file *ast.File
 		decl *ast.FuncDecl
@@ -64,10 +71,59 @@ func runHotPathAlloc(pass *Pass) error {
 				hotpath:   pass.marked(file, fd.Pos(), VerbHotPath),
 				allocates: bodyAllocates(pass, fd.Body),
 			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pass, call); callee != nil {
+					calls[obj] = append(calls[obj], callee)
+				}
+				return true
+			})
 			info[obj] = fi
+			order = append(order, obj)
 			if fi.hotpath {
 				hot = append(hot, hotFn{file, fd})
 			}
+		}
+	}
+
+	// Close "allocates" over the call graph: a non-hotpath function that
+	// calls an allocating non-hotpath function — same-package (summary) or
+	// cross-package (imported fact) — allocates too. Hotpath functions
+	// never propagate: their bodies are checked directly.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			fi := info[fn]
+			if fi.hotpath || fi.allocates {
+				continue
+			}
+			for _, callee := range calls[fn] {
+				if callee.Pkg() == pass.Pkg {
+					if ci, known := info[callee]; known && !ci.hotpath && ci.allocates {
+						fi.allocates = true
+					}
+				} else if pass.importedFact(callee, FactAllocates) && !pass.importedFact(callee, FactHotPath) {
+					fi.allocates = true
+				}
+				if fi.allocates {
+					info[fn] = fi
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export per-function facts for downstream packages.
+	for _, fn := range order {
+		switch fi := info[fn]; {
+		case fi.hotpath:
+			pass.exportFact(fn, FactHotPath)
+		case fi.allocates:
+			pass.exportFact(fn, FactAllocates)
 		}
 	}
 
@@ -297,19 +353,20 @@ func checkHotPathCall(pass *Pass, file *ast.File, fd *ast.FuncDecl, call *ast.Ca
 		}
 	}
 
-	// Same-package callee: must be hotpath or non-allocating.
-	var calleeObj types.Object
-	switch f := call.Fun.(type) {
-	case *ast.Ident:
-		calleeObj = pass.TypesInfo.Uses[f]
-	case *ast.SelectorExpr:
-		calleeObj = pass.TypesInfo.Uses[f.Sel]
-	}
-	if fn, ok := calleeObj.(*types.Func); ok {
-		if fi, known := info[fn]; known && !fi.hotpath && fi.allocates {
+	// Callee must be hotpath or non-allocating. Same-package callees are
+	// judged by the transitive summary computed this pass; cross-package
+	// callees by the facts their own package exported.
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fn.Pkg() == pass.Pkg {
+			if fi, known := info[fn]; known && !fi.hotpath && fi.allocates {
+				pass.ReportSuppressible(file, call.Pos(), VerbAlloc,
+					"hotpath function %s calls %s, which allocates and is not marked //f2tree:hotpath; mark and fix the callee or annotate //f2tree:alloc <reason>",
+					fd.Name.Name, fn.Name())
+			}
+		} else if pass.importedFact(fn, FactAllocates) && !pass.importedFact(fn, FactHotPath) {
 			pass.ReportSuppressible(file, call.Pos(), VerbAlloc,
-				"hotpath function %s calls %s, which allocates and is not marked //f2tree:hotpath; mark and fix the callee or annotate //f2tree:alloc <reason>",
-				fd.Name.Name, fn.Name())
+				"hotpath function %s calls %s, which allocates on its steady path (exported fact) and is not marked //f2tree:hotpath; mark and fix the callee or annotate //f2tree:alloc <reason>",
+				fd.Name.Name, fn.FullName())
 		}
 	}
 }

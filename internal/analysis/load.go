@@ -24,6 +24,17 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// Imports are the package's direct imports (all of them; the graph
+	// driver intersects with the loaded set).
+	Imports []string
+	// DepOnly marks a package loaded only because a matched package depends
+	// on it: it contributes facts to the interprocedural pass but is never
+	// reported on, regardless of scope flags.
+	DepOnly bool
+	// ContentHash is the 16-hex-character content hash of the package's
+	// source files (same convention as the campaign store), one input of
+	// the driver's result-cache key.
+	ContentHash string
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -32,17 +43,26 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
-	Error      *struct{ Err string }
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
 }
 
 // Load resolves patterns (e.g. "./...") with the go command and returns the
 // matched packages parsed and type-checked. Dependencies are imported from
 // compiler export data produced by `go list -export`, so no source outside
-// the matched packages is parsed and no third-party loader is required.
-// Only non-test files are analyzed: _test.go files may legitimately use
-// wall-clock time (benchmark timing) and unordered iteration.
+// the loaded packages is parsed and no third-party loader is required.
+// Main-module dependencies of the matched packages are loaded too, marked
+// DepOnly: export data carries no comments, so the fact-generating pass
+// needs their syntax to see //f2tree: markers — but they are never
+// reported on. Only non-test files are analyzed: _test.go files may
+// legitimately use wall-clock time (benchmark timing) and unordered
+// iteration.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -73,7 +93,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
+		if !p.DepOnly || (p.Module != nil && p.Module.Main) {
 			targets = append(targets, p)
 		}
 	}
@@ -86,8 +106,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			continue
 		}
 		var files []*ast.File
+		hash := newContentHash()
 		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			path := filepath.Join(p.Dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			hash.add(name, src)
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %v", err)
 			}
@@ -98,12 +125,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
-			ImportPath: p.ImportPath,
-			Dir:        p.Dir,
-			Fset:       fset,
-			Files:      files,
-			Types:      pkg,
-			TypesInfo:  info,
+			ImportPath:  p.ImportPath,
+			Dir:         p.Dir,
+			Fset:        fset,
+			Files:       files,
+			Types:       pkg,
+			TypesInfo:   info,
+			Imports:     p.Imports,
+			DepOnly:     p.DepOnly,
+			ContentHash: hash.sum(),
 		})
 	}
 	return pkgs, nil

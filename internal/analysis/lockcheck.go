@@ -59,53 +59,67 @@ func runLockCheck(pass *Pass) error {
 		return nil
 	}
 
-	// Pass 2: find writes to those vars anywhere in the package.
+	// Pass 2: find writes to those vars anywhere in the package. Writes
+	// are attributed to their enclosing function declaration, which then
+	// exports the touches-shared-state fact — the whole-program inventory
+	// the sharding refactor consults for functions that cannot run
+	// per-shard as they stand.
 	written := make(map[types.Object]bool)
-	markIfPkgVar := func(e ast.Expr) {
-		root := rootIdent(e)
-		if root == nil {
-			return
-		}
-		obj := pass.TypesInfo.Uses[root]
-		if obj == nil {
-			obj = pass.TypesInfo.Defs[root]
-		}
-		if _, ok := vars[obj]; ok {
-			written[obj] = true
-		}
-	}
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range x.Lhs {
-					markIfPkgVar(lhs)
+		for _, decl := range file.Decls {
+			wrote := false
+			markIfPkgVar := func(e ast.Expr) {
+				root := rootIdent(e)
+				if root == nil {
+					return
 				}
-			case *ast.IncDecStmt:
-				markIfPkgVar(x.X)
-			case *ast.UnaryExpr:
-				if x.Op == token.AND {
+				obj := pass.TypesInfo.Uses[root]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[root]
+				}
+				if _, ok := vars[obj]; ok {
+					written[obj] = true
+					wrote = true
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						markIfPkgVar(lhs)
+					}
+				case *ast.IncDecStmt:
 					markIfPkgVar(x.X)
-				}
-			case *ast.SelectorExpr:
-				// A pointer-receiver method call implicitly takes the
-				// address of its operand.
-				if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.MethodVal {
-					if fn, ok := sel.Obj().(*types.Func); ok {
-						sig, _ := fn.Type().(*types.Signature)
-						if sig != nil && sig.Recv() != nil {
-							if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
-								markIfPkgVar(x.X)
+				case *ast.UnaryExpr:
+					if x.Op == token.AND {
+						markIfPkgVar(x.X)
+					}
+				case *ast.SelectorExpr:
+					// A pointer-receiver method call implicitly takes the
+					// address of its operand.
+					if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.MethodVal {
+						if fn, ok := sel.Obj().(*types.Func); ok {
+							sig, _ := fn.Type().(*types.Signature)
+							if sig != nil && sig.Recv() != nil {
+								if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+									markIfPkgVar(x.X)
+								}
 							}
 						}
 					}
 				}
+				return true
+			})
+			if fd, ok := decl.(*ast.FuncDecl); ok && wrote {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					pass.exportFact(fn, FactSharedState)
+				}
 			}
-			return true
-		})
+		}
 	}
 
 	// Pass 3: report written vars that are not annotated.
+	//f2tree:unordered diagnostics are position-sorted by the driver
 	for obj, d := range vars {
 		if !written[obj] {
 			continue
@@ -117,8 +131,8 @@ func runLockCheck(pass *Pass) error {
 	return nil
 }
 
-// Analyzers returns every analyzer — determinism and contract/lifecycle —
-// in a stable order.
+// Analyzers returns every analyzer — determinism, contract/lifecycle and
+// shard ownership — in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{EpochCheck, HandleCheck, HotPathAlloc, LockCheck, MapIter, PoolCheck, SimClock}
+	return []*Analyzer{EpochCheck, HandleCheck, HotPathAlloc, LockCheck, MapIter, PoolCheck, ShardCheck, SimClock}
 }

@@ -2,14 +2,14 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// pooledTypePaths are pooled types known across package boundaries (the
-// analyzer sees one package's AST at a time, so cross-package callbacks —
-// a transport receiving *network.Packet — need the qualified list). Types
-// private to the analyzed package are marked `//f2tree:pooled` on their
-// declaration instead.
+// pooledTypePaths are pooled types known across package boundaries even
+// without the fact layer (fixture tests run analyzers one package at a
+// time). Under the graph driver, a `//f2tree:pooled` marker travels as the
+// pooled fact instead, so new pooled types need no registry entry.
 var pooledTypePaths = map[string]bool{
 	"repro/internal/network.Packet": true,
 }
@@ -28,18 +28,25 @@ var pooledTypePaths = map[string]bool{
 //   - append of a pooled value onto any slice,
 //   - pooled values placed in composite literals,
 //   - capture by a function literal (the closure may run later),
-//   - sends on a channel (another goroutine, another lifetime).
+//   - sends on a channel (another goroutine, another lifetime),
+//   - handing the value to a function in another package that retains the
+//     corresponding parameter (the retains:N fact that package exported).
 //
 // The deliberate ownership-transfer points — the pool's own free list,
 // handing a packet to the scheduler inside an in-flight record — are the
-// audited escape hatch: `//f2tree:retained <reason>` on the line.
+// audited escape hatch: `//f2tree:retained <reason>` on the line. A
+// suppressed site is an audited boundary: it exports no fact, so callers
+// of an audited retainer stay silent.
 //
-// The analysis is intraprocedural and parameter-rooted on purpose: passing
-// a pooled value down the synchronous call chain (forward → transmit →
-// drop) is the normal, safe pattern and stays silent.
+// Within one package the analysis stays parameter-rooted and silent on
+// same-package calls on purpose: passing a pooled value down the
+// synchronous call chain (forward → transmit → drop) is the normal, safe
+// pattern, and the whole package is one review unit. Across packages the
+// exported facts make retention transitive: a function that passes its
+// pooled parameter to a cross-package retainer is itself a retainer.
 var PoolCheck = &Analyzer{
 	Name: "poolcheck",
-	Doc:  "flags retention of pooled values (network.Packet, event records) beyond the delivery/dispatch callback",
+	Doc:  "flags retention of pooled values (network.Packet, event records) beyond the delivery/dispatch callback, transitively across packages",
 	Run:  runPoolCheck,
 }
 
@@ -50,7 +57,8 @@ func runPoolCheck(pass *Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkPoolFunc(pass, file, fn.Type, fn.Body, pooled)
+					obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+					checkPoolFunc(pass, file, obj, fn.Type, fn.Body, pooled)
 				}
 			}
 			return true
@@ -60,7 +68,8 @@ func runPoolCheck(pass *Pass) error {
 }
 
 // pooledTypes collects the named types whose pointers the analyzer tracks:
-// the cross-package registry plus in-package types marked //f2tree:pooled.
+// the cross-package registry plus in-package types marked //f2tree:pooled,
+// which are also exported as pooled facts for downstream packages.
 func pooledTypes(pass *Pass) map[*types.TypeName]bool {
 	out := make(map[*types.TypeName]bool)
 	for _, file := range pass.Files {
@@ -80,6 +89,7 @@ func pooledTypes(pass *Pass) map[*types.TypeName]bool {
 				}
 				if pass.marked(file, ts.Pos(), VerbPooled) || pass.marked(file, gd.Pos(), VerbPooled) {
 					out[obj] = true
+					pass.exportFact(obj, FactPooled)
 				}
 			}
 		}
@@ -87,8 +97,10 @@ func pooledTypes(pass *Pass) map[*types.TypeName]bool {
 	return out
 }
 
-// isPooledPtr reports whether t is a pointer to a tracked pooled type.
-func isPooledPtr(t types.Type, pooled map[*types.TypeName]bool) bool {
+// isPooledPtr reports whether t is a pointer to a tracked pooled type:
+// marked in this package, listed in the cross-package registry, or carrying
+// the pooled fact from a dependency.
+func isPooledPtr(pass *Pass, t types.Type, pooled map[*types.TypeName]bool) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
 		return false
@@ -104,44 +116,58 @@ func isPooledPtr(t types.Type, pooled map[*types.TypeName]bool) bool {
 	if tn.Pkg() == nil {
 		return false
 	}
-	return pooledTypePaths[tn.Pkg().Path()+"."+tn.Name()]
+	return pooledTypePaths[tn.Pkg().Path()+"."+tn.Name()] || pass.importedFact(tn, FactPooled)
 }
 
-// checkPoolFunc analyzes one function body. Nested function literals are
+// checkPoolFunc analyzes one function body. fn is the declared function
+// object (nil for a function literal); when a pooled parameter is retained
+// without a suppression, the retains:N fact is exported on it so callers
+// in other packages inherit the retention. Nested function literals are
 // visited as part of the body walk: a tracked value referenced inside one
 // is a capture finding, and the literal's own pooled parameters start
 // their own tracked set (handled by the recursive FuncLit case).
-func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.BlockStmt, pooled map[*types.TypeName]bool) {
-	tracked := make(map[types.Object]bool)
-	if ftype.Params != nil {
-		for _, field := range ftype.Params.List {
-			for _, name := range field.Names {
-				obj := pass.TypesInfo.Defs[name]
-				if obj != nil && isPooledPtr(obj.Type(), pooled) {
-					tracked[obj] = true
-				}
-			}
-		}
-	}
+func checkPoolFunc(pass *Pass, file *ast.File, fn *types.Func, ftype *ast.FuncType, body *ast.BlockStmt, pooled map[*types.TypeName]bool) {
+	// tracked maps each live pooled value to the index of the parameter it
+	// derives from — the coordinate the retains fact is keyed by.
+	tracked := make(map[types.Object]int)
 	// anyParams lets a type assertion of an `any` parameter to a pooled
 	// pointer start tracking — the ArgEvent dispatch pattern.
-	anyParams := make(map[types.Object]bool)
+	anyParams := make(map[types.Object]int)
 	if ftype.Params != nil {
+		idx := 0
 		for _, field := range ftype.Params.List {
 			for _, name := range field.Names {
 				obj := pass.TypesInfo.Defs[name]
-				if obj == nil {
-					continue
+				if obj != nil {
+					if isPooledPtr(pass, obj.Type(), pooled) {
+						tracked[obj] = idx
+					}
+					if _, isIface := obj.Type().Underlying().(*types.Interface); isIface {
+						anyParams[obj] = idx
+					}
 				}
-				if _, isIface := obj.Type().Underlying().(*types.Interface); isIface {
-					anyParams[obj] = true
-				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
 			}
 		}
 	}
 
-	usesTracked := func(e ast.Expr) *ast.Ident {
+	// retained records one retention of a tracked value: report it, and —
+	// unless the site is suppressed (the audited hand-off points) — export
+	// the retains fact for the origin parameter.
+	retained := func(pos token.Pos, paramIdx int, report func()) {
+		report()
+		if fn != nil && paramIdx >= 0 &&
+			!suppressed(pass.fileDirectives(file), pass.Fset, pos, VerbRetained) {
+			pass.exportFact(fn, RetainsFact(paramIdx))
+		}
+	}
+
+	usesTracked := func(e ast.Expr) (*ast.Ident, int) {
 		var found *ast.Ident
+		idx := -1
 		ast.Inspect(e, func(n ast.Node) bool {
 			if found != nil {
 				return false
@@ -155,13 +181,15 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 				return false
 			}
 			if id, ok := n.(*ast.Ident); ok {
-				if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
-					found = id
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if i, ok := tracked[obj]; ok {
+						found, idx = id, i
+					}
 				}
 			}
 			return true
 		})
-		return found
+		return found, idx
 	}
 
 	var walk func(n ast.Node) bool
@@ -172,22 +200,26 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 			// into the closure's lifetime.
 			ast.Inspect(x.Body, func(m ast.Node) bool {
 				if id, ok := m.(*ast.Ident); ok {
-					if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
-						pass.ReportSuppressible(file, id.Pos(), VerbRetained,
-							"pooled %s is captured by a closure and may outlive its callback; copy what you need or annotate //f2tree:retained <reason>",
-							id.Name)
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						if i, ok := tracked[obj]; ok {
+							retained(id.Pos(), i, func() {
+								pass.ReportSuppressible(file, id.Pos(), VerbRetained,
+									"pooled %s is captured by a closure and may outlive its callback; copy what you need or annotate //f2tree:retained <reason>",
+									id.Name)
+							})
+						}
 					}
 				}
 				return true
 			})
 			// The literal's own pooled params get a fresh analysis.
-			checkPoolFunc(pass, file, x.Type, x.Body, pooled)
+			checkPoolFunc(pass, file, nil, x.Type, x.Body, pooled)
 			return false
 		case *ast.AssignStmt:
 			// Pair LHS/RHS positionally where possible; a multi-value RHS
 			// (call, type assert) applies to every LHS.
 			for i, rhs := range x.Rhs {
-				id := usesTracked(rhs)
+				id, idx := usesTracked(rhs)
 				targets := x.Lhs
 				if len(x.Lhs) == len(x.Rhs) {
 					targets = x.Lhs[i : i+1]
@@ -198,7 +230,7 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 					// itself retains the record; copying a field out of it
 					// (seg := Segment{seq: pkt.Seq}) is the recommended
 					// pattern and stays silent.
-					if id != nil && !isPooledPtr(pass.TypesInfo.TypeOf(rhs), pooled) {
+					if id != nil && !isPooledPtr(pass, pass.TypesInfo.TypeOf(rhs), pooled) {
 						id = nil
 					}
 					if isIdent {
@@ -206,15 +238,17 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 						// never a retention.
 						if id != nil {
 							if obj := objectOf(pass, lhsIdent); obj != nil {
-								tracked[obj] = true
+								tracked[obj] = idx
 							}
 						}
 						continue
 					}
 					if id != nil {
-						pass.ReportSuppressible(file, x.Pos(), VerbRetained,
-							"pooled %s is stored into %s and may outlive its callback; the pool recycles it on delivery/drop — copy what you need or annotate //f2tree:retained <reason>",
-							id.Name, lvalueLabel(lhs))
+						retained(x.Pos(), idx, func() {
+							pass.ReportSuppressible(file, x.Pos(), VerbRetained,
+								"pooled %s is stored into %s and may outlive its callback; the pool recycles it on delivery/drop — copy what you need or annotate //f2tree:retained <reason>",
+								id.Name, lvalueLabel(lhs))
+						})
 					}
 				}
 				// Type assertion of an interface param to a pooled pointer
@@ -226,15 +260,19 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 						continue
 					}
 					obj := pass.TypesInfo.Uses[root]
-					if obj == nil || !anyParams[obj] {
+					if obj == nil {
 						continue
 					}
-					if !isPooledPtr(pass.TypesInfo.TypeOf(ta.Type), pooled) {
+					srcIdx, isAny := anyParams[obj]
+					if !isAny {
+						continue
+					}
+					if !isPooledPtr(pass, pass.TypesInfo.TypeOf(ta.Type), pooled) {
 						continue
 					}
 					if li, ok := targets[0].(*ast.Ident); ok {
 						if o := objectOf(pass, li); o != nil {
-							tracked[o] = true
+							tracked[o] = srcIdx
 						}
 					}
 				}
@@ -244,17 +282,21 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
 				if pass.TypesInfo.Uses[id] == nil || isBuiltin(pass, id) {
 					for _, arg := range x.Args[min(1, len(x.Args)):] {
-						if !isPooledPtr(pass.TypesInfo.TypeOf(arg), pooled) {
+						if !isPooledPtr(pass, pass.TypesInfo.TypeOf(arg), pooled) {
 							continue
 						}
-						if tid := usesTracked(arg); tid != nil {
-							pass.ReportSuppressible(file, x.Pos(), VerbRetained,
-								"pooled %s is appended to a slice and may outlive its callback; annotate //f2tree:retained <reason> if this is the pool itself",
-								tid.Name)
+						if tid, idx := usesTracked(arg); tid != nil {
+							retained(x.Pos(), idx, func() {
+								pass.ReportSuppressible(file, x.Pos(), VerbRetained,
+									"pooled %s is appended to a slice and may outlive its callback; annotate //f2tree:retained <reason> if this is the pool itself",
+									tid.Name)
+							})
 						}
 					}
+					return true
 				}
 			}
+			checkPoolCallFacts(pass, file, fn, x, pooled, usesTracked)
 			return true
 		case *ast.CompositeLit:
 			for _, elt := range x.Elts {
@@ -262,24 +304,28 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 				if kv, ok := elt.(*ast.KeyValueExpr); ok {
 					e = kv.Value
 				}
-				if !isPooledPtr(pass.TypesInfo.TypeOf(e), pooled) {
+				if !isPooledPtr(pass, pass.TypesInfo.TypeOf(e), pooled) {
 					continue
 				}
-				if tid := usesTracked(e); tid != nil {
-					pass.ReportSuppressible(file, e.Pos(), VerbRetained,
-						"pooled %s is placed in a composite literal and may outlive its callback; annotate //f2tree:retained <reason> at audited hand-off points",
-						tid.Name)
+				if tid, idx := usesTracked(e); tid != nil {
+					retained(e.Pos(), idx, func() {
+						pass.ReportSuppressible(file, e.Pos(), VerbRetained,
+							"pooled %s is placed in a composite literal and may outlive its callback; annotate //f2tree:retained <reason> at audited hand-off points",
+							tid.Name)
+					})
 				}
 			}
 			return true
 		case *ast.SendStmt:
-			if !isPooledPtr(pass.TypesInfo.TypeOf(x.Value), pooled) {
+			if !isPooledPtr(pass, pass.TypesInfo.TypeOf(x.Value), pooled) {
 				return true
 			}
-			if tid := usesTracked(x.Value); tid != nil {
-				pass.ReportSuppressible(file, x.Pos(), VerbRetained,
-					"pooled %s is sent on a channel, crossing into another lifetime; annotate //f2tree:retained <reason> if ownership genuinely transfers",
-					tid.Name)
+			if tid, idx := usesTracked(x.Value); tid != nil {
+				retained(x.Pos(), idx, func() {
+					pass.ReportSuppressible(file, x.Pos(), VerbRetained,
+						"pooled %s is sent on a channel, crossing into another lifetime; annotate //f2tree:retained <reason> if ownership genuinely transfers",
+						tid.Name)
+				})
 			}
 			return true
 		}
@@ -288,36 +334,39 @@ func checkPoolFunc(pass *Pass, file *ast.File, ftype *ast.FuncType, body *ast.Bl
 	ast.Inspect(body, walk)
 }
 
-// objectOf resolves an identifier to its object, whether it defines or
-// uses it (:= vs =).
-func objectOf(pass *Pass, id *ast.Ident) types.Object {
-	if obj := pass.TypesInfo.Defs[id]; obj != nil {
-		return obj
+// checkPoolCallFacts flags passing a tracked pooled value to a function in
+// another package that retains the corresponding parameter (its exported
+// retains:N fact) — and makes the enclosing function a retainer too.
+func checkPoolCallFacts(pass *Pass, file *ast.File, fn *types.Func, call *ast.CallExpr, pooled map[*types.TypeName]bool, usesTracked func(ast.Expr) (*ast.Ident, int)) {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == pass.Pkg {
+		return
 	}
-	return pass.TypesInfo.Uses[id]
-}
-
-// isBuiltin reports whether the identifier resolves to a builtin.
-func isBuiltin(pass *Pass, id *ast.Ident) bool {
-	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
-	return ok
-}
-
-// lvalueLabel renders a short label for a store target.
-func lvalueLabel(e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.SelectorExpr:
-		if root := rootIdent(x); root != nil {
-			return "field " + root.Name + "." + x.Sel.Name
-		}
-		return "a field"
-	case *ast.IndexExpr:
-		if root := rootIdent(x); root != nil {
-			return "element of " + root.Name
-		}
-		return "a slice/map element"
-	case *ast.StarExpr:
-		return "a dereferenced pointer"
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
 	}
-	return "a non-local location"
+	for i, arg := range call.Args {
+		if !isPooledPtr(pass, pass.TypesInfo.TypeOf(arg), pooled) {
+			continue
+		}
+		tid, srcIdx := usesTracked(arg)
+		if tid == nil {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if !pass.importedFact(callee, RetainsFact(pi)) {
+			continue
+		}
+		if fn != nil && srcIdx >= 0 &&
+			!suppressed(pass.fileDirectives(file), pass.Fset, arg.Pos(), VerbRetained) {
+			pass.exportFact(fn, RetainsFact(srcIdx))
+		}
+		pass.ReportSuppressible(file, arg.Pos(), VerbRetained,
+			"pooled %s is passed to %s, which retains this parameter (exported fact) beyond the call; copy what you need or annotate //f2tree:retained <reason> if ownership transfers",
+			tid.Name, callee.FullName())
+	}
 }

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardCheck enforces the shard-ownership contract the ROADMAP's sharded
+// simulation core relies on. That refactor partitions the fabric by
+// pod/core-group into per-shard event queues; it is only mechanical if
+// every piece of node state — FIB tables, pools, flow caches, router
+// instances — is provably confined to one shard. The contract is declared
+// in the code: a type marked `//f2tree:shardlocal` on its declaration (the
+// marker travels to other packages as the shardlocal fact) must not
+//
+//   - be reachable from a package-level variable: a type is "reached" if
+//     it appears anywhere in the variable's type structure (pointers,
+//     slices, arrays, maps, channels, struct fields, transitively) — a
+//     global cache of per-shard state would be shared by every shard;
+//   - be captured by a `go` statement: shard state crossing a goroutine
+//     boundary is exactly the race the per-shard partition exists to
+//     prevent;
+//   - be sent through a channel: a channel is a hand-off to another
+//     lifetime and, in the sharded core, to another shard.
+//
+// The one legitimate crossing — the conservative window-boundary exchange
+// the sharded core will perform, or today's campaign workers that own a
+// whole simulation per goroutine — is declared `//f2tree:shardport
+// <reason>` on the line, and the -audit mode fails on stale shardport
+// annotations like every other suppression.
+//
+// The package-level-variable rule is interprocedural by construction:
+// `var cache map[string]*fib.Table` in any package is a finding as soon as
+// fib marks Table shardlocal, because the marker arrives as a fact with
+// the import — the per-package analysis alone cannot see it.
+var ShardCheck = &Analyzer{
+	Name: "shardcheck",
+	Doc:  "confines //f2tree:shardlocal state to one shard: no package-level reachability, no goroutine capture, no channel sends",
+	Run:  runShardCheck,
+}
+
+func runShardCheck(pass *Pass) error {
+	local := shardLocalTypes(pass)
+	reach := &shardReach{pass: pass, local: local, memo: make(map[*types.TypeName]string)}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkShardPkgVars(pass, file, d, reach)
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.GoStmt:
+						checkShardGoStmt(pass, file, x, reach)
+					case *ast.SendStmt:
+						if hit := reach.find(pass.TypesInfo.TypeOf(x.Value)); hit != "" {
+							pass.ReportSuppressible(file, x.Pos(), VerbShardPort,
+								"shard-local state (%s) is sent through a channel, crossing into another lifetime/shard; keep it shard-confined or mark the seam //f2tree:shardport <reason>",
+								hit)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// shardLocalTypes collects the in-package types marked //f2tree:shardlocal
+// and exports the fact for each so downstream packages inherit the
+// contract.
+func shardLocalTypes(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if pass.marked(file, ts.Pos(), VerbShardLocal) || pass.marked(file, gd.Pos(), VerbShardLocal) {
+					out[obj] = true
+					pass.exportFact(obj, FactShardLocal)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shardReach answers "does this type reach a shard-local type?" over the
+// full type structure, with memoization on named types (which also breaks
+// recursive-type cycles).
+type shardReach struct {
+	pass  *Pass
+	local map[*types.TypeName]bool
+	memo  map[*types.TypeName]string // "" = does not reach / in progress
+}
+
+// find returns the qualified name of a shard-local type reachable from t,
+// or "" when t is shard-clean.
+func (r *shardReach) find(t types.Type) string {
+	return r.findType(t, make(map[*types.TypeName]bool))
+}
+
+func (r *shardReach) findType(t types.Type, visiting map[*types.TypeName]bool) string {
+	switch u := t.(type) {
+	case *types.Named:
+		tn := u.Obj()
+		if r.local[tn] || r.pass.importedFact(tn, FactShardLocal) {
+			return typeDisplayName(tn)
+		}
+		if visiting[tn] {
+			return ""
+		}
+		if hit, ok := r.memo[tn]; ok {
+			return hit
+		}
+		rootCall := len(visiting) == 0
+		visiting[tn] = true
+		hit := r.findType(u.Underlying(), visiting)
+		delete(visiting, tn)
+		// A positive answer is valid in any context; a negative one found
+		// while a cycle is being explored may only reflect the truncated
+		// back-edge, so it is cached only for root computations.
+		if hit != "" || rootCall {
+			r.memo[tn] = hit
+		}
+		return hit
+	case *types.Alias:
+		return r.findType(types.Unalias(t), visiting)
+	case *types.Pointer:
+		return r.findType(u.Elem(), visiting)
+	case *types.Slice:
+		return r.findType(u.Elem(), visiting)
+	case *types.Array:
+		return r.findType(u.Elem(), visiting)
+	case *types.Chan:
+		return r.findType(u.Elem(), visiting)
+	case *types.Map:
+		if hit := r.findType(u.Key(), visiting); hit != "" {
+			return hit
+		}
+		return r.findType(u.Elem(), visiting)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hit := r.findType(u.Field(i).Type(), visiting); hit != "" {
+				return hit
+			}
+		}
+	}
+	// Basic types, interfaces, signatures and tuples do not embed shard
+	// state structurally; a closure smuggling state is the go-statement
+	// rule's business.
+	return ""
+}
+
+// typeDisplayName renders pkg.Type for diagnostics.
+func typeDisplayName(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// checkShardPkgVars flags package-level variables whose type reaches a
+// shard-local type.
+func checkShardPkgVars(pass *Pass, file *ast.File, gd *ast.GenDecl, reach *shardReach) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || obj.Parent() != pass.Pkg.Scope() {
+				continue
+			}
+			if hit := reach.find(obj.Type()); hit != "" {
+				pass.ReportSuppressible(file, name.Pos(), VerbShardPort,
+					"package-level variable %s holds shard-local state (%s), which every future shard would share; move it onto the per-shard instance or mark the seam //f2tree:shardport <reason>",
+					name.Name, hit)
+			}
+		}
+	}
+}
+
+// checkShardGoStmt flags shard-local values crossing into a spawned
+// goroutine: any identifier referenced in the `go` statement — call
+// arguments, the callee expression, or captures inside a function literal
+// — whose type reaches a shard-local type.
+func checkShardGoStmt(pass *Pass, file *ast.File, g *ast.GoStmt, reach *shardReach) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if hit := reach.find(obj.Type()); hit != "" {
+			reported[obj] = true
+			pass.ReportSuppressible(file, id.Pos(), VerbShardPort,
+				"%s carries shard-local state (%s) across a goroutine boundary; shard state must stay on its owning shard — or mark the seam //f2tree:shardport <reason>",
+				id.Name, hit)
+		}
+		return true
+	})
+}

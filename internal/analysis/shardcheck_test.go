@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestShardCheck(t *testing.T) {
+	analyzertest.Run(t, analysis.ShardCheck, fixture("shardcheck"))
+}

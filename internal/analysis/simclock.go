@@ -35,6 +35,15 @@ var globalRandAllowed = map[string]bool{
 // both break it invisibly. Virtual time comes from sim.Simulator.Now and
 // randomness from the seeded sim.Simulator.Rand.
 //
+// The check is interprocedural: a function whose body reads the wall clock
+// without a suppression exports the reads-wall-clock fact, propagated
+// through unsuppressed same-package call chains, and a call into another
+// package whose target carries the fact is a finding here — so hiding a
+// time.Now two packages down a helper chain no longer hides it from the
+// gate. Only the root read is reported inside its own package (the
+// package is one review unit); cross-package call sites are reported
+// because the reader may live outside the caller's review scope.
+//
 // One audited escape hatch exists, for the wall-clock half only: the
 // campaign orchestration layer legitimately reads real time — per-run
 // timeouts and progress reporting happen outside any simulation, between
@@ -43,17 +52,21 @@ var globalRandAllowed = map[string]bool{
 //	//f2tree:wallclock <reason>
 //
 // on the line or the line above, and the reason is what a reviewer audits:
-// it must say why the read cannot influence simulation results. There is
-// deliberately no corresponding directive for global math/rand state —
-// orchestration code has no business drawing unseeded randomness, and a
-// seeded generator is always available.
+// it must say why the read cannot influence simulation results. A
+// suppressed read (or suppressed call) also stops fact propagation — the
+// annotation is the audited boundary. There is deliberately no
+// corresponding directive for global math/rand state — orchestration code
+// has no business drawing unseeded randomness, and a seeded generator is
+// always available.
 var SimClock = &Analyzer{
 	Name: "simclock",
-	Doc:  "forbids time.Now/time.Since and global math/rand state in simulation packages",
+	Doc:  "forbids wall-clock reads (direct or through call chains) and global math/rand state in simulation packages",
 	Run:  runSimClock,
 }
 
 func runSimClock(pass *Pass) error {
+	// Diagnostics for direct reads and global rand use, anywhere in the
+	// file (function bodies, var initializers).
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -90,5 +103,106 @@ func runSimClock(pass *Pass) error {
 			return true
 		})
 	}
+
+	// Interprocedural half: per-function wall-clock facts. reads[fn] is
+	// seeded by unsuppressed direct reads and unsuppressed calls to
+	// imported fact carriers (reported above/below respectively), then
+	// closed over unsuppressed same-package calls. Reads inside function
+	// literals are attributed to the enclosing declaration — conservative
+	// for a closure that only escapes, but a closure built by simulation
+	// code is expected to run in simulation context.
+	type edge struct {
+		callee *types.Func
+	}
+	reads := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]edge)
+	var order []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			order = append(order, fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					ident, ok := x.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+					if !ok {
+						return true
+					}
+					if pkgName.Imported().Path() == "time" && wallClockFuncs[x.Sel.Name] &&
+						!suppressed(pass.fileDirectives(file), pass.Fset, x.Pos(), VerbWallClock) {
+						reads[fn] = true
+					}
+				case *ast.CallExpr:
+					callee := calleeFunc(pass, x)
+					if callee == nil {
+						return true
+					}
+					if suppressed(pass.fileDirectives(file), pass.Fset, x.Pos(), VerbWallClock) {
+						return true // audited boundary: no report, no propagation
+					}
+					if callee.Pkg() == pass.Pkg {
+						calls[fn] = append(calls[fn], edge{callee})
+					} else if pass.importedFact(callee, FactWallClock) {
+						pass.ReportSuppressible(file, x.Pos(), VerbWallClock,
+							"call to %s, which transitively reads the wall clock; simulation code must use the virtual clock (sim.Simulator.Now/After)",
+							callee.FullName())
+						reads[fn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if reads[fn] {
+				continue
+			}
+			for _, e := range calls[fn] {
+				if reads[e.callee] {
+					reads[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range order {
+		if reads[fn] {
+			pass.exportFact(fn, FactWallClock)
+		}
+	}
 	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it statically
+// invokes (package function or method), or nil for builtins, conversions,
+// function values and interface-typed calls the analyzer cannot name.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
 }

@@ -16,7 +16,7 @@ func closures(e *engine, x int) {
 //f2tree:hotpath
 func concat(a, b string) string {
 	s := a + b // want `string concatenation in hotpath function concat`
-	s += a // want `string concatenation in hotpath function concat`
+	s += a     // want `string concatenation in hotpath function concat`
 	return s
 }
 
@@ -35,16 +35,16 @@ func appends(e *engine, xs []int, v int) []int {
 //f2tree:hotpath
 func boxing(v int, p *engine) {
 	var i any = v // want `assignment boxes a non-pointer int into an interface`
-	i = p // pointers are interface-word sized: no boxing
+	i = p         // pointers are interface-word sized: no boxing
 	_ = i
 	takesAny(v) // want `argument boxes a non-pointer int into an interface parameter`
 	takesAny(p)
 	takesVariadic(1, v) // want `argument boxes a non-pointer int into an interface parameter`
-	_ = any(v) // want `conversion boxes a non-pointer value into an interface`
+	_ = any(v)          // want `conversion boxes a non-pointer value into an interface`
 }
 
-func takesAny(arg any)                  { _ = arg }
-func takesVariadic(n int, args ...any)  { _, _ = n, args }
+func takesAny(arg any)                 { _ = arg }
+func takesVariadic(n int, args ...any) { _, _ = n, args }
 
 // buildTable allocates and is not hotpath: calling it from a hotpath
 // function is the "allocating helper" finding.

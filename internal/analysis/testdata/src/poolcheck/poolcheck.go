@@ -25,11 +25,11 @@ type sink struct {
 // deliver is the callback shape the contract covers: its parameter is
 // recycled the moment it returns.
 func (s *sink) deliver(r *record) {
-	s.last = r                    // want `pooled r is stored into field s.last`
-	s.items = append(s.items, r)  // want `pooled r is appended to a slice`
-	s.byID[r.id] = r              // want `pooled r is stored into element of s`
-	_ = []*record{r}              // want `pooled r is placed in a composite literal`
-	s.ch <- r                     // want `pooled r is sent on a channel`
+	s.last = r                         // want `pooled r is stored into field s.last`
+	s.items = append(s.items, r)       // want `pooled r is appended to a slice`
+	s.byID[r.id] = r                   // want `pooled r is stored into element of s`
+	_ = []*record{r}                   // want `pooled r is placed in a composite literal`
+	s.ch <- r                          // want `pooled r is sent on a channel`
 	hold := func() int { return r.id } // want `pooled r is captured by a closure`
 	_ = hold
 }

@@ -1,0 +1,96 @@
+// Package fixture exercises the shardcheck analyzer: state marked
+// //f2tree:shardlocal must not be reachable from package-level variables,
+// captured by go statements, or sent through channels; //f2tree:shardport
+// is the audited seam.
+package fixture
+
+// Engine stands in for a per-shard simulation core.
+//
+//f2tree:shardlocal
+type Engine struct {
+	now int64
+}
+
+// Table stands in for per-switch forwarding state.
+//
+//f2tree:shardlocal
+type Table struct {
+	routes map[uint32]int
+}
+
+// plain is not shard-local; holding it at package level is fine.
+type plain struct {
+	n int
+}
+
+var globalEngine *Engine // want `package-level variable globalEngine holds shard-local state \(fixture/shardcheck.Engine\)`
+
+var engineCache map[string]*Engine // want `package-level variable engineCache holds shard-local state`
+
+var tableList []Table // want `package-level variable tableList holds shard-local state \(fixture/shardcheck.Table\)`
+
+// wrapper embeds shard state two levels deep: reachability is structural.
+type wrapper struct {
+	inner struct {
+		t *Table
+	}
+}
+
+var wrapped wrapper // want `package-level variable wrapped holds shard-local state`
+
+var shared plain
+
+//f2tree:sharedstate fixture: a goroutine-capture decoy for shardcheck, not lockcheck's concern here
+var count int
+
+// recursive must not hang the reachability walk.
+type recursive struct {
+	next *recursive
+	t    *Table
+}
+
+var recVar *recursive // want `package-level variable recVar holds shard-local state`
+
+//f2tree:shardport registry of finished shards, read only after Join
+var ported map[string]*Engine
+
+func spawn(e *Engine, t Table, p plain) {
+	go run(e) // want `e carries shard-local state \(fixture/shardcheck.Engine\) across a goroutine boundary`
+
+	go func() {
+		use(t) // want `t carries shard-local state \(fixture/shardcheck.Table\) across a goroutine boundary`
+	}()
+
+	// Non-shard state may cross goroutines freely.
+	go func() {
+		_ = p.n
+		count = p.n
+	}()
+
+	//f2tree:shardport handoff at the window boundary, receiver owns it next
+	go run(e)
+}
+
+func send(ch chan *Engine, tch chan Table, ich chan int, e *Engine, t Table) {
+	ch <- e // want `shard-local state \(fixture/shardcheck.Engine\) is sent through a channel`
+
+	tch <- t // want `shard-local state \(fixture/shardcheck.Table\) is sent through a channel`
+
+	ich <- 1
+
+	//f2tree:shardport window-boundary exchange; ownership transfers with the send
+	ch <- e
+}
+
+// within-shard use is unrestricted: calls, locals, field access.
+func local(e *Engine, t *Table) int {
+	var scratch Table
+	scratch.routes = t.routes
+	use(scratch)
+	run(e)
+	return int(e.now)
+}
+
+func run(e *Engine) { e.now++ }
+
+func use(t Table) { _ = t.routes }

@@ -9,14 +9,14 @@ import (
 )
 
 func positives() {
-	_ = time.Now()                  // want `time.Now reads the wall clock`
-	_ = time.Since(time.Time{})     // want `time.Since reads the wall clock`
-	time.Sleep(time.Millisecond)    // want `time.Sleep reads the wall clock`
-	_ = time.Tick(time.Second)      // want `time.Tick reads the wall clock`
-	_ = rand.Intn(10)               // want `rand.Intn uses the process-global random source`
-	_ = rand.Float64()              // want `rand.Float64 uses the process-global random source`
+	_ = time.Now()                     // want `time.Now reads the wall clock`
+	_ = time.Since(time.Time{})        // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond)       // want `time.Sleep reads the wall clock`
+	_ = time.Tick(time.Second)         // want `time.Tick reads the wall clock`
+	_ = rand.Intn(10)                  // want `rand.Intn uses the process-global random source`
+	_ = rand.Float64()                 // want `rand.Float64 uses the process-global random source`
 	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the process-global random source`
-	f := time.Now                   // want `time.Now reads the wall clock`
+	f := time.Now                      // want `time.Now reads the wall clock`
 	_ = f
 }
 

@@ -95,7 +95,10 @@ type best struct {
 	originated bool
 }
 
-// Instance is a per-switch BGP speaker.
+// Instance is a per-switch BGP speaker. It lives on the shard that owns
+// its switch.
+//
+//f2tree:shardlocal
 type Instance struct {
 	d    *Domain
 	node topo.NodeID

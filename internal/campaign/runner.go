@@ -129,10 +129,10 @@ func runPASpec(s Spec) (Metrics, any, error) {
 		return nil, nil, err
 	}
 	m := Metrics{
-		"requests":     float64(res.Requests),
-		"completed":    float64(res.Completed),
-		"miss_ratio":   res.MissRatio,
-		"failures":     float64(res.Failures),
+		"requests":        float64(res.Requests),
+		"completed":       float64(res.Completed),
+		"miss_ratio":      res.MissRatio,
+		"failures":        float64(res.Failures),
 		"max_spf_wait_ms": float64(res.MaxSPFWait) / float64(time.Millisecond),
 	}
 	if res.CompletionS.Len() > 0 {

@@ -38,14 +38,14 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		return &Scenario{Scheme: "f2tree", Ports: 8}
 	}
 	cases := map[string]func(*Scenario){
-		"missing scheme":        func(sc *Scenario) { sc.Scheme = "" },
-		"unknown control":       func(sc *Scenario) { sc.Control = "rip" },
-		"negative horizon":      func(sc *Scenario) { sc.HorizonMs = -1 },
-		"flow missing dst":      func(sc *Scenario) { sc.Flows = []Flow{{Src: "leftmost"}} },
-		"duplicate flow":        func(sc *Scenario) { sc.Flows = []Flow{{Src: "a", Dst: "b"}, {Src: "a", Dst: "b"}} },
+		"missing scheme":         func(sc *Scenario) { sc.Scheme = "" },
+		"unknown control":        func(sc *Scenario) { sc.Control = "rip" },
+		"negative horizon":       func(sc *Scenario) { sc.HorizonMs = -1 },
+		"flow missing dst":       func(sc *Scenario) { sc.Flows = []Flow{{Src: "leftmost"}} },
+		"duplicate flow":         func(sc *Scenario) { sc.Flows = []Flow{{Src: "a", Dst: "b"}, {Src: "a", Dst: "b"}} },
 		"negative flow interval": func(sc *Scenario) { sc.Flows = []Flow{{Src: "a", Dst: "b", IntervalUs: -1}} },
-		"unknown fault kind":    func(sc *Scenario) { sc.Faults = []Fault{{Kind: "emp", AtMs: 100}} },
-		"negative fault time":   func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultLinkDown, AtMs: -5, A: "x", B: "y"}} },
+		"unknown fault kind":     func(sc *Scenario) { sc.Faults = []Fault{{Kind: "emp", AtMs: 100}} },
+		"negative fault time":    func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultLinkDown, AtMs: -5, A: "x", B: "y"}} },
 		"window closes before open": func(sc *Scenario) {
 			sc.Faults = []Fault{{Kind: FaultGray, AtMs: 500, EndMs: 400, A: "x", B: "y", Prob: 0.5}}
 		},
@@ -54,7 +54,7 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 			sc.Faults = []Fault{{Kind: FaultGray, AtMs: 500, EndMs: 800, A: "x", B: "y", Prob: 0.5}}
 		},
 		"link fault missing endpoint": func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultLinkDown, AtMs: 100, A: "x"}} },
-		"gray without window":  func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultGray, AtMs: 100, A: "x", B: "y", Prob: 0.5}} },
+		"gray without window":         func(sc *Scenario) { sc.Faults = []Fault{{Kind: FaultGray, AtMs: 100, A: "x", B: "y", Prob: 0.5}} },
 		"gray prob out of range": func(sc *Scenario) {
 			sc.Faults = []Fault{{Kind: FaultGray, AtMs: 100, EndMs: 200, A: "x", B: "y", Prob: 1.5}}
 		},

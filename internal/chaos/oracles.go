@@ -267,9 +267,9 @@ func (r *run) verdict() *Verdict {
 		}
 		fs := FlowStats{
 			Src: fr.spec.Src, Dst: fr.spec.Dst,
-			Sent:      fr.source.Sent(),
-			Delivered: uint64(len(fr.sink.Arrivals)),
-			Dropped:   fr.dropped,
+			Sent:       fr.source.Sent(),
+			Delivered:  uint64(len(fr.sink.Arrivals)),
+			Dropped:    fr.dropped,
 			TTLExpired: uint64(len(fr.ttlTimes)),
 		}
 		v.Flows = append(v.Flows, fs)

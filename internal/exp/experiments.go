@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/detsort"
 	"repro/internal/failure"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -354,12 +355,7 @@ func (r *Fig7Results) String() string {
 	var b strings.Builder
 	b.WriteString("Fig 7 — F²Tree scheme on other multi-rooted topologies (§V)\n")
 	fmt.Fprintf(&b, "%-12s %20s %20s\n", "Topology", "loss baseline (ms)", "loss with F² (ms)")
-	names := make([]string, 0, len(r.Pairs))
-	for n := range r.Pairs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range detsort.Keys(r.Pairs) {
 		pair := r.Pairs[n]
 		fmt.Fprintf(&b, "%-12s %20.1f %20.1f\n", n,
 			float64(pair[0].ConnectivityLoss.Microseconds())/1000,

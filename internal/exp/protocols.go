@@ -2,9 +2,9 @@ package exp
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/detsort"
 	"repro/internal/failure"
 )
 
@@ -48,12 +48,7 @@ func (r *ProtocolResults) String() string {
 	var b strings.Builder
 	b.WriteString("Control-plane independence (§V) — C1 connectivity loss (ms)\n")
 	fmt.Fprintf(&b, "%-14s %12s %12s\n", "protocol", "fat tree", "F2Tree")
-	names := make([]string, 0, len(r.Loss))
-	for n := range r.Loss {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range detsort.Keys(r.Loss) {
 		ft := r.Loss[n][SchemeFatTree]
 		f2 := r.Loss[n][SchemeF2Tree]
 		fmt.Fprintf(&b, "%-14s %12.1f %12.1f\n", n,

@@ -125,7 +125,11 @@ type nodeState struct {
 	usable func(fib.NextHop) bool
 }
 
-// Network is the runtime data plane over a topology.
+// Network is the runtime data plane over a topology. Its state — FIB
+// tables, link/node state, the in-flight event pool — belongs to exactly
+// one simulation shard.
+//
+//f2tree:shardlocal
 type Network struct {
 	sim   *sim.Simulator
 	topo  *topo.Topology
@@ -153,7 +157,7 @@ type Network struct {
 // processing delay. Using a static dispatch function plus a pooled record
 // replaces the two closures the old per-hop path allocated.
 //
-//f2tree:pooled
+/*f2tree:pooled*/ /*f2tree:shardlocal*/
 type netEvent struct {
 	n    *Network
 	pkt  *Packet

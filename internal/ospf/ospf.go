@@ -109,7 +109,10 @@ type Domain struct {
 	floodFilter FloodFilter
 }
 
-// Instance is the per-router protocol state.
+// Instance is the per-router protocol state. It lives on the shard that
+// owns its router.
+//
+//f2tree:shardlocal
 type Instance struct {
 	d    *Domain
 	node topo.NodeID
