@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check f2tree-vet vet-audit vet-cache-smoke race check chaos-smoke bench bench-campaign bench-hotpath
+.PHONY: build test vet fmt-check f2tree-vet vet-audit vet-cache-smoke race check chaos-smoke bench bench-campaign bench-hotpath serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,13 @@ bench-campaign:
 # allocs/op budgets. See DESIGN.md §9.
 bench-hotpath:
 	$(GO) run ./cmd/f2tree-bench -check -out BENCH_hotpath.json
+
+# Run the what-if query service on localhost (see DESIGN.md §13).
+serve:
+	$(GO) run ./cmd/f2tree-serve -addr 127.0.0.1:8080 -j 4
+
+# What-if service benchmark over real HTTP: cold vs repeated (cached)
+# queries plus a concurrent burst, emitting BENCH_serve.json. Fails if the
+# repeated query is not a measured memoization hit.
+bench-serve:
+	$(GO) run ./cmd/f2tree-serve -bench -j 4 -bench-out BENCH_serve.json

@@ -37,6 +37,30 @@ func annotated() {
 	_ = rand.Intn(3) // want `rand.Intn uses the process-global random source`
 }
 
+// serviceSeams mirrors the serving layer's real-clock sites (DESIGN.md
+// §13): a deferred latency measurement, the paired Now/Since around a
+// request, and a timeout timer in a select. Each read needs its own
+// justified directive — pairing with an annotated Now does not cover the
+// later Since.
+func serviceSeams() {
+	//f2tree:wallclock service latency measurement, outside any simulation
+	begin := time.Now()
+	defer func() {
+		//f2tree:wallclock service latency measurement
+		_ = time.Since(begin)
+	}()
+	//f2tree:wallclock per-query timeout is orchestration-layer real time
+	timer := time.NewTimer(time.Second)
+	select {
+	case <-timer.C:
+	default:
+	}
+	// The pair rule: an annotated Now does NOT excuse its matching Since.
+	//f2tree:wallclock request latency
+	start := time.Now()
+	_ = time.Since(start) // want `time.Since reads the wall clock`
+}
+
 func negatives(rng *rand.Rand) {
 	var d time.Duration = 3 * time.Millisecond // duration math: fine
 	_ = d.Seconds()

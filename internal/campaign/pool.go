@@ -1,13 +1,9 @@
 package campaign
 
 import (
-	"errors"
 	"fmt"
 	"io"
-	"runtime"
-	"runtime/debug"
 	"sort"
-	"sync"
 	"time"
 )
 
@@ -81,16 +77,11 @@ type Outcome struct {
 }
 
 // Run expands nothing and decides nothing: it executes exactly the given
-// specs on a worker pool and returns every result. Per-run failures
+// specs on a WorkerPool and returns every result. Per-run failures
 // (errors, panics, timeouts) are recorded in the results, not returned;
 // the error covers infrastructure problems only (duplicate or invalid
 // specs, store I/O).
 func Run(specs []Spec, fn RunFunc, o Options) (*Outcome, error) {
-	workers := o.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	seen := make(map[string]int, len(specs))
 	for i, s := range specs {
 		if err := s.Validate(); err != nil {
@@ -116,10 +107,9 @@ func Run(specs []Spec, fn RunFunc, o Options) (*Outcome, error) {
 		todo = append(todo, s)
 	}
 
-	var (
-		mu   sync.Mutex
-		done = out.Skipped
-	)
+	done := out.Skipped
+	pool := NewWorkerPool(o.Parallelism)
+	defer pool.Close()
 	//f2tree:wallclock progress reporting is orchestration-layer real time
 	start := time.Now()
 	report := func() {
@@ -129,42 +119,41 @@ func Run(specs []Spec, fn RunFunc, o Options) (*Outcome, error) {
 		//f2tree:wallclock progress reporting
 		elapsed := time.Since(start).Round(100 * time.Millisecond)
 		fmt.Fprintf(o.Progress, "\rcampaign: %d/%d done (%d skipped, %d failed) j=%d %v ",
-			done, len(specs), out.Skipped, out.Failed, workers, elapsed)
+			done, len(specs), out.Skipped, out.Failed, pool.Workers(), elapsed)
 	}
 	report()
 
-	jobs := make(chan Spec)
-	var storeErr error
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for spec := range jobs {
-				res := execute(spec, fn, o)
-				mu.Lock()
-				if res.Status == StatusFailed {
-					out.Failed++
-				} else if res.payload != nil {
-					out.Payloads[res.Hash] = res.payload
-				}
-				out.Results = append(out.Results, res.Result)
-				if o.Store != nil {
-					if err := o.Store.Append(res.Result); err != nil && storeErr == nil {
-						storeErr = err
-					}
-				}
-				done++
-				report()
-				mu.Unlock()
-			}
-		}()
+	// Submit everything up front (Submit never blocks), then collect each
+	// spec's outcome in submission order; collection is single-goroutine,
+	// so the bookkeeping below needs no lock.
+	type pending struct {
+		spec Spec
+		ch   <-chan Attempt
 	}
+	pendings := make([]pending, 0, len(todo))
 	for _, s := range todo {
-		jobs <- s
+		s := s
+		ch := pool.Submit(func() (Metrics, any, error) { return fn(s) }, o.Timeout, o.Retries)
+		pendings = append(pendings, pending{spec: s, ch: ch})
 	}
-	close(jobs)
-	wg.Wait()
+	var storeErr error
+	for _, p := range pendings {
+		a := <-p.ch
+		res := resultFrom(p.spec, a)
+		if res.Status == StatusFailed {
+			out.Failed++
+		} else if a.Payload != nil {
+			out.Payloads[res.Hash] = a.Payload
+		}
+		out.Results = append(out.Results, res)
+		if o.Store != nil {
+			if err := o.Store.Append(res); err != nil && storeErr == nil {
+				storeErr = err
+			}
+		}
+		done++
+		report()
+	}
 	if o.Progress != nil {
 		fmt.Fprintln(o.Progress)
 	}
@@ -178,81 +167,18 @@ func Run(specs []Spec, fn RunFunc, o Options) (*Outcome, error) {
 	return out, nil
 }
 
-// executed pairs a result with its in-memory payload.
-type executed struct {
-	Result
-	payload any
-}
-
-// execute runs one spec through the attempt loop.
-func execute(spec Spec, fn RunFunc, o Options) executed {
-	res := executed{Result: Result{
+// resultFrom converts a pool attempt into the spec's stored record.
+func resultFrom(spec Spec, a Attempt) Result {
+	res := Result{
 		Hash: spec.Hash(), Spec: spec, Seed: spec.Seed(), Status: StatusFailed,
-	}}
-	attempts := o.Retries + 1
-	for a := 1; a <= attempts; a++ {
-		res.Attempts = a
-		//f2tree:wallclock per-attempt cost measurement
-		begin := time.Now()
-		m, payload, err := attempt(spec, fn, o.Timeout)
-		//f2tree:wallclock per-attempt cost measurement
-		res.WallMS = float64(time.Since(begin)) / float64(time.Millisecond)
-		if err == nil {
-			res.Status = StatusOK
-			res.Error, res.Panic = "", ""
-			res.Metrics, res.payload = m, payload
-			return res
-		}
-		res.Error = err.Error()
-		var pe *panicError
-		if errors.As(err, &pe) {
-			res.Panic = pe.stack
-		} else {
-			res.Panic = ""
-		}
+		Attempts: a.Attempts, WallMS: a.WallMS,
+	}
+	if a.Err == nil {
+		res.Status = StatusOK
+		res.Metrics = a.Metrics
+	} else {
+		res.Error = a.Err.Error()
+		res.Panic = a.Panic
 	}
 	return res
-}
-
-// panicError wraps a recovered panic with its stack.
-type panicError struct {
-	value any
-	stack string
-}
-
-func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
-
-// attempt executes fn(spec) once in its own goroutine, converting a panic
-// into *panicError and enforcing the wall-clock timeout. On timeout the
-// goroutine is abandoned (see Options.Timeout); its buffered channel send
-// keeps it from leaking forever.
-func attempt(spec Spec, fn RunFunc, timeout time.Duration) (m Metrics, payload any, err error) {
-	type outcome struct {
-		m       Metrics
-		payload any
-		err     error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				ch <- outcome{err: &panicError{value: r, stack: string(debug.Stack())}}
-			}
-		}()
-		m, p, err := fn(spec)
-		ch <- outcome{m: m, payload: p, err: err}
-	}()
-	if timeout <= 0 {
-		o := <-ch
-		return o.m, o.payload, o.err
-	}
-	//f2tree:wallclock per-run timeout is orchestration-layer real time
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case o := <-ch:
-		return o.m, o.payload, o.err
-	case <-timer.C:
-		return nil, nil, fmt.Errorf("timed out after %v (attempt abandoned)", timeout)
-	}
 }

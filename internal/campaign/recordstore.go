@@ -1,0 +1,169 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"sync"
+)
+
+// RecordStore is a content-hash-keyed, resumable record cache: an
+// append-only JSONL file with one record per line, indexed by a
+// caller-supplied key. Opening an existing file loads its records, so a
+// re-invoked consumer serves every key whose last complete record is
+// retained and re-computes the rest. A half-written trailing line (the
+// writer was killed mid-append) or a corrupt line elsewhere is skipped
+// with a warning — its key simply re-computes — rather than failing the
+// resume or being dropped silently.
+//
+// With an empty path the store is memory-only: the same indexing and
+// retention semantics without persistence (the serve layer's default
+// memoization mode).
+type RecordStore[T any] struct {
+	mu   sync.Mutex
+	f    *os.File // nil in memory-only mode
+	key  func(T) string
+	keep func(T) bool
+	done map[string]T
+	// warnings records every line skipped while loading, for the caller to
+	// surface; an empty slice means the file was fully well-formed.
+	warnings []string
+	// needsNewline is set when the file ends mid-line: the next Append
+	// must start with a separator or it would extend the torn record.
+	needsNewline bool
+}
+
+// OpenRecordStore opens (or creates) the JSONL store at path and indexes
+// its records: key extracts each record's content hash, keep decides
+// whether a loaded or appended record satisfies future lookups (records
+// failing keep are written but never served — e.g. failed campaign runs,
+// which a resume must retry). An empty path yields a memory-only store.
+func OpenRecordStore[T any](path string, key func(T) string, keep func(T) bool) (*RecordStore[T], error) {
+	s := &RecordStore[T]{key: key, keep: keep, done: make(map[string]T)}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening store: %w", err)
+	}
+	s.f = f
+	br := bufio.NewReaderSize(f, 1<<20)
+	lineNo := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			terminated := line[len(line)-1] == '\n'
+			s.needsNewline = !terminated
+			if rec, ok := s.loadLine(line, lineNo, terminated); ok {
+				// Only kept records are indexed: a later rejected record
+				// does not invalidate an earlier kept one for the same key.
+				if h := s.key(rec); s.keep(rec) && h != "" {
+					s.done[h] = rec
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: reading store: %w", rerr)
+		}
+	}
+	return s, nil
+}
+
+// loadLine parses one stored line. A parse failure on a newline-terminated
+// line is corruption; one on the final unterminated line is the expected
+// torn tail of an interrupted append.
+func (s *RecordStore[T]) loadLine(line []byte, lineNo int, terminated bool) (T, bool) {
+	var zero T
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return zero, false
+	}
+	var rec T
+	if err := json.Unmarshal(trimmed, &rec); err != nil {
+		if terminated {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("store line %d: skipping corrupt record (%v); its spec will re-run", lineNo, err))
+		} else {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("store line %d: skipping truncated final record (interrupted append); its spec will re-run", lineNo))
+		}
+		return zero, false
+	}
+	return rec, true
+}
+
+// Warnings returns the lines skipped while loading the store, in file
+// order. A non-empty result means the previous writer was interrupted
+// mid-append (last entry) or the file was corrupted (earlier entries).
+func (s *RecordStore[T]) Warnings() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return slices.Clone(s.warnings)
+}
+
+// Completed returns the retained record for the key, if any.
+func (s *RecordStore[T]) Completed(hash string) (T, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.done[hash]
+	return r, ok
+}
+
+// Len reports the number of retained records.
+func (s *RecordStore[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Append records one result: written as a JSONL line and synced to disk
+// (so a killed writer loses at most the in-flight runs), then indexed if
+// keep accepts it. Memory-only stores skip the file half.
+func (s *RecordStore[T]) Append(r T) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if s.needsNewline {
+			// The file ends with a torn record: seal it with a separator so
+			// this append does not extend it into a second unreadable line.
+			if _, err := s.f.Write([]byte{'\n'}); err != nil {
+				return err
+			}
+			s.needsNewline = false
+		}
+		if _, err := s.f.Write(append(b, '\n')); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if h := s.key(r); s.keep(r) && h != "" {
+		s.done[h] = r
+	}
+	return nil
+}
+
+// Close closes the underlying file; a memory-only store closes trivially.
+func (s *RecordStore[T]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Close()
+}

@@ -1,151 +1,40 @@
 package campaign
 
-import (
-	"bufio"
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
-	"os"
-	"slices"
-	"sync"
-)
-
-// Store is the campaign's resumable result cache: an append-only JSONL
-// file with one Result per line, keyed by spec hash. Opening an existing
-// file loads its records, so a re-invoked campaign skips every spec whose
-// last record is ok and re-runs the rest. A half-written trailing line
-// (the campaign was killed mid-append) or a corrupt line elsewhere is
-// skipped with a warning — its spec simply re-runs — rather than failing
-// the resume or being dropped silently.
+// Store is the campaign's resumable result cache: a RecordStore of run
+// Results keyed by spec hash, retaining only ok records (a failed record
+// never satisfies a resume — the spec re-runs). See RecordStore for the
+// JSONL format and torn-tail semantics.
 type Store struct {
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]Result // hash → latest ok record
-	// warnings records every line skipped while loading, for the caller to
-	// surface; an empty slice means the file was fully well-formed.
-	warnings []string
-	// needsNewline is set when the file ends mid-line: the next Append
-	// must start with a separator or it would extend the torn record.
-	needsNewline bool
+	rs *RecordStore[Result]
 }
 
 // OpenStore opens (or creates) the JSONL store at path and indexes its
 // completed runs.
 func OpenStore(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	rs, err := OpenRecordStore(path,
+		func(r Result) string { return r.Hash },
+		func(r Result) bool { return r.Status == StatusOK })
 	if err != nil {
-		return nil, fmt.Errorf("campaign: opening store: %w", err)
+		return nil, err
 	}
-	s := &Store{f: f, done: make(map[string]Result)}
-	br := bufio.NewReaderSize(f, 1<<20)
-	lineNo := 0
-	for {
-		line, rerr := br.ReadBytes('\n')
-		if len(line) > 0 {
-			lineNo++
-			terminated := line[len(line)-1] == '\n'
-			s.needsNewline = !terminated
-			if rec, ok := s.loadLine(line, lineNo, terminated); ok {
-				// Only ok records are indexed: a failed record never
-				// satisfies a resume (the spec re-runs), and a later
-				// failure does not invalidate an earlier success for the
-				// same hash.
-				if rec.Status == StatusOK && rec.Hash != "" {
-					s.done[rec.Hash] = rec
-				}
-			}
-		}
-		if rerr == io.EOF {
-			break
-		}
-		if rerr != nil {
-			f.Close()
-			return nil, fmt.Errorf("campaign: reading store: %w", rerr)
-		}
-	}
-	return s, nil
-}
-
-// loadLine parses one stored line. A parse failure on a newline-terminated
-// line is corruption; one on the final unterminated line is the expected
-// torn tail of an interrupted append.
-func (s *Store) loadLine(line []byte, lineNo int, terminated bool) (Result, bool) {
-	trimmed := bytes.TrimSpace(line)
-	if len(trimmed) == 0 {
-		return Result{}, false
-	}
-	var rec Result
-	if err := json.Unmarshal(trimmed, &rec); err != nil {
-		if terminated {
-			s.warnings = append(s.warnings,
-				fmt.Sprintf("store line %d: skipping corrupt record (%v); its spec will re-run", lineNo, err))
-		} else {
-			s.warnings = append(s.warnings,
-				fmt.Sprintf("store line %d: skipping truncated final record (interrupted append); its spec will re-run", lineNo))
-		}
-		return Result{}, false
-	}
-	return rec, true
+	return &Store{rs: rs}, nil
 }
 
 // Warnings returns the lines skipped while loading the store, in file
 // order. A non-empty result means the previous campaign was interrupted
 // mid-append (last entry) or the file was corrupted (earlier entries).
-func (s *Store) Warnings() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return slices.Clone(s.warnings)
-}
+func (s *Store) Warnings() []string { return s.rs.Warnings() }
 
 // Completed returns the stored ok record for the spec hash, if any.
 // Failed records are deliberately not returned: resuming retries them.
-func (s *Store) Completed(hash string) (Result, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.done[hash]
-	return r, ok
-}
+func (s *Store) Completed(hash string) (Result, bool) { return s.rs.Completed(hash) }
 
 // Len reports the number of completed runs in the store.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.done)
-}
+func (s *Store) Len() int { return s.rs.Len() }
 
 // Append writes one result as a JSONL line and syncs it to disk, so a
 // killed campaign loses at most the in-flight runs.
-func (s *Store) Append(r Result) error {
-	b, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.needsNewline {
-		// The file ends with a torn record: seal it with a separator so
-		// this append does not extend it into a second unreadable line.
-		if _, err := s.f.Write([]byte{'\n'}); err != nil {
-			return err
-		}
-		s.needsNewline = false
-	}
-	if _, err := s.f.Write(append(b, '\n')); err != nil {
-		return err
-	}
-	if err := s.f.Sync(); err != nil {
-		return err
-	}
-	if r.Status == StatusOK {
-		s.done[r.Hash] = r
-	}
-	return nil
-}
+func (s *Store) Append(r Result) error { return s.rs.Append(r) }
 
 // Close closes the underlying file.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.f.Close()
-}
+func (s *Store) Close() error { return s.rs.Close() }

@@ -52,7 +52,7 @@ func knownBadCandidate(ports int, seed int64) (*Scenario, error) {
 		EqualPrefixBackup: true,
 		Flows:             []Flow{{Src: "leftmost", Dst: "rightmost"}},
 	}
-	r, err := setup(sc)
+	r, err := setup(sc, RunOpts{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ospf"
+	"repro/internal/topo"
+)
+
+// labFIBDigest renders every switch forwarding table in node order — the
+// state the incremental and full control planes must agree on byte for
+// byte after a scenario quiesces.
+func labFIBDigest(lab *core.Lab) string {
+	var b strings.Builder
+	for _, nd := range lab.Topo.Nodes {
+		if nd.Kind == topo.Host {
+			continue
+		}
+		b.WriteString(nd.Name)
+		b.WriteString("\n")
+		b.WriteString(lab.Net.Table(nd.ID).String())
+	}
+	return b.String()
+}
+
+// runBothControlPlanes executes one scenario under the incremental
+// control plane (with the self-check comparing every repair against a
+// full recomputation) and under the FullSPF ablation, and asserts the two
+// runs are indistinguishable: identical trace hashes (every delivery,
+// drop and fault event at the same virtual time) and identical final
+// forwarding state.
+func runBothControlPlanes(t *testing.T, sc *Scenario) {
+	t.Helper()
+	var incFIB, fullFIB string
+	inc, err := RunScenarioOpts(sc, RunOpts{
+		SelfCheckSPF: true,
+		OnFinish:     func(lab *core.Lab) { incFIB = labFIBDigest(lab) },
+	})
+	if err != nil {
+		t.Fatalf("incremental run: %v", err)
+	}
+	full, err := RunScenarioOpts(sc, RunOpts{
+		OSPF:     ospf.Config{FullSPF: true},
+		OnFinish: func(lab *core.Lab) { fullFIB = labFIBDigest(lab) },
+	})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if inc.TraceHash != full.TraceHash {
+		t.Fatalf("trace diverged: incremental %s, full %s", inc.TraceHash, full.TraceHash)
+	}
+	if incFIB != fullFIB {
+		t.Fatalf("final FIBs diverged:\n--- incremental ---\n%s\n--- full ---\n%s", incFIB, fullFIB)
+	}
+}
+
+// TestCorpusEquivalenceIncrementalVsFull replays every committed corpus
+// scenario under both control planes.
+func TestCorpusEquivalenceIncrementalVsFull(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus scenarios in testdata")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Parse(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runBothControlPlanes(t, sc)
+		})
+	}
+}
+
+// TestFuzzEquivalenceIncrementalVsFull runs a fresh seeded fuzz batch
+// under both control planes. OSPF cells exercise the incremental path
+// directly (single failures, flaps, pod bursts, crashes, gray loss); the
+// fixed seeds keep the batch replayable.
+func TestFuzzEquivalenceIncrementalVsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence fuzz batch is slow")
+	}
+	cells := []FuzzConfig{
+		{Scheme: "f2tree", Ports: 6, Control: "ospf"},
+		{Scheme: "f2tree", Ports: 8, Control: "ospf"},
+		{Scheme: "fattree", Ports: 4, Control: "ospf"},
+	}
+	const perCell = 4
+	for _, cell := range cells {
+		for seed := int64(1); seed <= perCell; seed++ {
+			sc, err := Generate(cell, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("%s-p%d-seed%d", cell.Scheme, cell.Ports, seed)
+			t.Run(name, func(t *testing.T) {
+				runBothControlPlanes(t, sc)
+			})
+		}
+	}
+}

@@ -338,13 +338,22 @@ func (r *run) verdict() *Verdict {
 				}
 			}
 		}
+		var maxGap interval
+		noteGap := func(gap interval) {
+			if gap.len() > maxGap.len() {
+				maxGap = gap
+			}
+			checkGap(gap)
+		}
 		for _, a := range fr.sink.Arrivals {
-			checkGap(interval{prev, a.Arrived})
+			noteGap(interval{prev, a.Arrived})
 			prev = a.Arrived
 		}
 		if prev < r.horizon {
-			checkGap(interval{prev, r.horizon})
+			noteGap(interval{prev, r.horizon})
 		}
+		v.Flows[i].MaxGapMs = int64(maxGap.len() / sim.Millisecond)
+		v.Flows[i].MaxGapStartMs = ms(maxGap.a)
 		if holes > maxListedPerOracle {
 			v.Violations = append(v.Violations, Violation{
 				Oracle: "blackhole", Flow: i,

@@ -41,6 +41,13 @@ type FlowStats struct {
 	// TTLExpired counts this flow's packets that died of TTL — the loop
 	// signal, split into excused (inside a disturbed window) and not.
 	TTLExpired uint64 `json:"ttlExpired"`
+	// MaxGapMs is the flow's longest delivery gap (by arrival time,
+	// including the lead-in before the first delivery and the tail to the
+	// horizon) and MaxGapStartMs its onset — the blackhole window a
+	// what-if query reports. Zero-length when the flow delivered
+	// continuously.
+	MaxGapMs      int64 `json:"maxGapMs"`
+	MaxGapStartMs int64 `json:"maxGapStartMs"`
 }
 
 // Verdict is the outcome of one chaos run: the oracle findings plus the
@@ -134,13 +141,34 @@ type hashStream struct {
 	sum hash.Hash
 }
 
+// RunOpts adjusts how a scenario executes without altering the scenario
+// itself — the trace hash is still seeded from the scenario JSON alone, so
+// two runs of one scenario under different opts are directly comparable.
+type RunOpts struct {
+	// OSPF overrides the control-plane timer config; zero fields keep the
+	// paper's defaults. FullSPF selects the full-recompute ablation the
+	// incremental control plane is proven equivalent to.
+	OSPF ospf.Config
+	// SelfCheckSPF makes every incremental SPF run and delta FIB install
+	// verify itself against a full recomputation (panics on divergence).
+	SelfCheckSPF bool
+	// OnFinish, if set, observes the quiesced lab before the verdict is
+	// computed — the equivalence suite digests final forwarding state here.
+	OnFinish func(lab *core.Lab)
+}
+
 // RunScenario executes one chaos scenario to quiesce and evaluates the
 // four invariant oracles.
 func RunScenario(sc *Scenario) (*Verdict, error) {
+	return RunScenarioOpts(sc, RunOpts{})
+}
+
+// RunScenarioOpts is RunScenario with execution overrides.
+func RunScenarioOpts(sc *Scenario, opts RunOpts) (*Verdict, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	r, err := setup(sc)
+	r, err := setup(sc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +183,15 @@ func RunScenario(sc *Scenario) (*Verdict, error) {
 	if err := r.lab.Sim.RunUntilIdle(); err != nil {
 		return nil, err
 	}
+	if opts.OnFinish != nil {
+		opts.OnFinish(r.lab)
+	}
 	return r.verdict(), nil
 }
 
 // setup builds the lab, resolves flows and faults, installs the fault
 // filters and wires the observers.
-func setup(sc *Scenario) (*run, error) {
+func setup(sc *Scenario, opts RunOpts) (*run, error) {
 	tp, err := exp.BuildTopology(exp.Scheme(sc.Scheme), sc.Ports)
 	if err != nil {
 		return nil, err
@@ -177,11 +208,14 @@ func setup(sc *Scenario) (*run, error) {
 		seed = 42
 	}
 	lab, err := core.NewLab(core.LabConfig{
-		Topology: tp, Seed: seed, ControlPlane: cp,
+		Topology: tp, Seed: seed, ControlPlane: cp, OSPF: opts.OSPF,
 		DisableFastReroute: sc.DisableFastReroute || sc.EqualPrefixBackup,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.SelfCheckSPF && lab.Domain != nil {
+		lab.Domain.EnableSelfCheck()
 	}
 	if sc.EqualPrefixBackup && len(tp.Rings) > 0 {
 		plan, err := core.PlanEqualPrefixBackupRoutes(tp)

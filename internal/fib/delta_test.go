@@ -1,0 +1,140 @@
+package fib
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netaddr"
+)
+
+func routesEqual(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Prefix != b[i].Prefix || a[i].Source != b[i].Source || !hopsEqual(a[i].NextHops, b[i].NextHops) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiffRoutesBasics(t *testing.T) {
+	r := func(p string, hops ...NextHop) Route {
+		return Route{Prefix: netaddr.MustParsePrefix(p), Source: OSPF, NextHops: hops}
+	}
+	old := []Route{r("10.1.0.0/24", NextHop{Port: 1}), r("10.2.0.0/24", NextHop{Port: 2})}
+	next := []Route{r("10.1.0.0/24", NextHop{Port: 1}), r("10.2.0.0/24", NextHop{Port: 3}), r("10.3.0.0/24", NextHop{Port: 4})}
+	d := DiffRoutes(old, next)
+	if len(d.Upserts) != 2 || len(d.Removes) != 0 {
+		t.Fatalf("delta = %+v, want 2 upserts 0 removes", d)
+	}
+	d = DiffRoutes(next, old)
+	if len(d.Upserts) != 1 || len(d.Removes) != 1 {
+		t.Fatalf("reverse delta = %+v, want 1 upsert 1 remove", d)
+	}
+	if !DiffRoutes(old, old).Empty() {
+		t.Fatal("self-diff should be empty")
+	}
+	if DiffRoutes(nil, nil).Upserts != nil {
+		t.Fatal("nil diff should stay nil")
+	}
+}
+
+func TestDiffRoutesDuplicatePrefixLastWins(t *testing.T) {
+	// ReplaceSource installs route-by-route, so a duplicated prefix ends up
+	// with the last occurrence's hops; the diff must agree.
+	p := netaddr.MustParsePrefix("10.9.0.0/24")
+	old := []Route{{Prefix: p, Source: OSPF, NextHops: []NextHop{{Port: 7}}}}
+	next := []Route{
+		{Prefix: p, Source: OSPF, NextHops: []NextHop{{Port: 1}}},
+		{Prefix: p, Source: OSPF, NextHops: []NextHop{{Port: 7}}},
+	}
+	if d := DiffRoutes(old, next); !d.Empty() {
+		t.Fatalf("delta = %+v, want empty (last occurrence matches old)", d)
+	}
+}
+
+// TestApplySourceDeltaMatchesReplaceSource drives two tables through the
+// same random sequence of OSPF route generations — one via full
+// ReplaceSource, one via DiffRoutes+ApplySourceDelta — and requires the
+// tables to agree after every step. Static routes coexist to check that
+// deltas never disturb other sources.
+func TestApplySourceDeltaMatchesReplaceSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full, inc := New(), New()
+	for _, tbl := range []*Table{full, inc} {
+		if err := tbl.Add(Route{Prefix: netaddr.MustParsePrefix("10.0.0.0/15"), Source: Static, NextHops: []NextHop{{Port: 9}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := func() []Route {
+		var routes []Route
+		for i := 0; i < 12; i++ {
+			if rng.Intn(3) == 0 {
+				continue // withdrawn this generation
+			}
+			p := netaddr.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", i))
+			hops := []NextHop{{Port: rng.Intn(4), Via: netaddr.AddrFrom4(10, 99, byte(i), 1)}}
+			if rng.Intn(2) == 0 {
+				hops = append(hops, NextHop{Port: 4 + rng.Intn(4), Via: netaddr.AddrFrom4(10, 99, byte(i), 2)})
+			}
+			routes = append(routes, Route{Prefix: p, Source: OSPF, NextHops: hops})
+		}
+		return routes
+	}
+	var installed []Route
+	for step := 0; step < 50; step++ {
+		routes := gen()
+		if err := full.ReplaceSource(OSPF, routes); err != nil {
+			t.Fatal(err)
+		}
+		delta := DiffRoutes(installed, routes)
+		if err := inc.ApplySourceDelta(OSPF, delta); err != nil {
+			t.Fatal(err)
+		}
+		installed = routes
+		if !routesEqual(full.Routes(), inc.Routes()) {
+			t.Fatalf("step %d: tables diverged\nfull:\n%s\ninc:\n%s", step, full, inc)
+		}
+		if full.Len() != inc.Len() {
+			t.Fatalf("step %d: Len %d != %d", step, full.Len(), inc.Len())
+		}
+	}
+}
+
+// TestApplySourceDeltaEmptyDeltaInvalidatesFlowCache pins the epoch
+// contract: an install event must invalidate memoized lookups even when no
+// route changed, exactly like ReplaceSource.
+func TestApplySourceDeltaEmptyDeltaInvalidatesFlowCache(t *testing.T) {
+	tbl := New()
+	tbl.EnableFlowCache(16)
+	dst := netaddr.MustParseAddr("10.1.0.5")
+	flow := FlowKey{Dst: dst, SrcPort: 1}
+	mustAdd(t, tbl, "10.1.0.0/24", OSPF, NextHop{Port: 1}, NextHop{Port: 2})
+	res, ok := tbl.Lookup(dst, flow, allUsable)
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	// Cache the result, then make its next hop unusable. Without an epoch
+	// bump the stale cached pick would be returned.
+	dead := res.NextHop.Port
+	if err := tbl.ApplySourceDelta(OSPF, Delta{}); err != nil {
+		t.Fatal(err)
+	}
+	res2, ok := tbl.Lookup(dst, flow, func(nh NextHop) bool { return nh.Port != dead })
+	if !ok || res2.NextHop.Port == dead {
+		t.Fatalf("lookup after empty delta = %+v ok=%v; flow cache not invalidated", res2, ok)
+	}
+}
+
+func TestSourceRoutesFiltersBySource(t *testing.T) {
+	tbl := New()
+	mustAdd(t, tbl, "10.1.0.0/24", OSPF, NextHop{Port: 1})
+	mustAdd(t, tbl, "10.0.0.0/16", Static, NextHop{Port: 2})
+	got := tbl.SourceRoutes(OSPF)
+	if len(got) != 1 || got[0].Prefix.String() != "10.1.0.0/24" {
+		t.Fatalf("SourceRoutes(OSPF) = %+v", got)
+	}
+}

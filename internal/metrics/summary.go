@@ -1,0 +1,32 @@
+package metrics
+
+// Summary is the five-number aggregation a service exposes per latency
+// series: computed with the same nearest-rank quantiles as the paper's
+// CDFs, so a /metrics scrape and an offline CDF over the same samples
+// agree exactly.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize aggregates values into a Summary. An empty input yields the
+// zero Summary (Count 0) rather than an error: a service scrapes its
+// metrics before the first sample arrives.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	c := NewCDF(values)
+	p50, _ := c.Quantile(0.50)
+	p99, _ := c.Quantile(0.99)
+	return Summary{
+		Count: c.Len(),
+		Mean:  c.Mean(),
+		P50:   p50,
+		P99:   p99,
+		Max:   c.sorted[len(c.sorted)-1],
+	}
+}

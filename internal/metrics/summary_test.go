@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	want := Summary{Count: 1, Mean: 42, P50: 42, P99: 42, Max: 42}
+	if s != want {
+		t.Fatalf("Summarize([42]) = %+v, want %+v", s, want)
+	}
+}
+
+// TestSummarizeNearestRank pins the exact quantile convention: for n=100
+// values 1..100, nearest-rank gives p50=50 (ceil(0.5*100)=50th value) and
+// p99=99 (ceil(0.99*100)=99th value), NOT interpolated midpoints.
+func TestSummarizeNearestRank(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	s := Summarize(vals)
+	want := Summary{Count: 100, Mean: 50.5, P50: 50, P99: 99, Max: 100}
+	if s != want {
+		t.Fatalf("Summarize(1..100) = %+v, want %+v", s, want)
+	}
+}
+
+// TestSummarizeOrderInvariant: aggregation over a latency series must not
+// depend on arrival order — the determinism contract for /metrics output.
+func TestSummarizeOrderInvariant(t *testing.T) {
+	asc := []float64{1, 2, 3, 5, 8, 13, 21, 34}
+	shuffled := []float64{21, 3, 34, 1, 13, 5, 8, 2}
+	a, b := Summarize(asc), Summarize(shuffled)
+	if a != b {
+		t.Fatalf("order-dependent summary: %+v vs %+v", a, b)
+	}
+}
+
+func TestSummarizeSmallN(t *testing.T) {
+	// n=3: p50 -> ceil(1.5)=2nd value, p99 -> ceil(2.97)=3rd value.
+	s := Summarize([]float64{10, 20, 30})
+	if s.P50 != 20 || s.P99 != 30 || s.Max != 30 || s.Count != 3 {
+		t.Fatalf("Summarize(3 values) = %+v", s)
+	}
+	if math.Abs(s.Mean-20) > 1e-12 {
+		t.Fatalf("mean = %v, want 20", s.Mean)
+	}
+}

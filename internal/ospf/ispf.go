@@ -1,0 +1,549 @@
+// Incremental SPF: repair the cached shortest-path DAG after a single-link
+// LSA change instead of recomputing it from scratch.
+//
+// The paper's recovery anatomy charges OSPF for a full Dijkstra per router
+// per topology event; on a k=24 fat tree that is ~720 nodes of BFS when a
+// single link's failure perturbs only the DAG below it. The incremental
+// path exploits the structure the full computation already guarantees:
+//
+//   - unit link costs, so distances are BFS levels;
+//   - the two-way check makes edge presence symmetric in the endpoint
+//     LSAs, so a directed-edge change is always a whole-link change and a
+//     node's out-edge list doubles as its in-edge list;
+//   - a removed link can only increase distances, and only for the taut
+//     descendants of its downstream endpoint; an added link can only
+//     decrease distances, propagating outward from its farther endpoint.
+//
+// Anything else — several links changing in one run, an inconsistent edge
+// diff, a restarted router — falls back to the full BFS. Equivalence with
+// the full computation is enforced three ways: the Domain self-check
+// (every incremental result compared against a fresh full run), the chaos
+// equivalence suite (byte-identical traces and FIBs across the corpus and
+// fuzzer), and the fib delta tests.
+package ospf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detsort"
+	"repro/internal/fib"
+	"repro/internal/topo"
+)
+
+// spfState is the memory the incremental SPF keeps between runs: the
+// two-way-checked adjacency rows, BFS distances and first-hop sets of the
+// last computation, and the set of origins whose LSAs changed since.
+type spfState struct {
+	valid bool
+	graph map[topo.NodeID][]edge
+	dist  map[topo.NodeID]int
+	nh    map[topo.NodeID]map[fib.NextHop]bool
+	dirty map[topo.NodeID]bool
+
+	fullRuns int // full BFS (first run, fallback, or Config.FullSPF)
+	incRuns  int // single-link DAG repairs
+	sameRuns int // adjacency-preserving runs (seq/prefix-only changes)
+}
+
+// markDirty records that an origin's LSA changed since the last SPF run.
+func (i *Instance) markDirty(o topo.NodeID) {
+	if i.spf.dirty == nil {
+		i.spf.dirty = make(map[topo.NodeID]bool, 4)
+	}
+	i.spf.dirty[o] = true
+}
+
+func (i *Instance) distOf(n topo.NodeID) int {
+	if d, ok := i.spf.dist[n]; ok {
+		return d
+	}
+	return inf
+}
+
+// taut reports whether an edge from distance a to distance b lies on some
+// shortest path.
+func taut(a, b int) bool { return a != inf && b != inf && a+1 == b }
+
+func hopSetEqual(a, b map[fib.NextHop]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	//f2tree:unordered subset check over equal-size sets; commutative
+	for h := range a {
+		if !b[h] {
+			return false
+		}
+	}
+	return true
+}
+
+// setRow installs an adjacency row, keeping the map canonical (no empty
+// rows) so incremental state compares equal to a fresh buildGraph.
+func setRow(graph map[topo.NodeID][]edge, o topo.NodeID, row []edge) {
+	if len(row) == 0 {
+		delete(graph, o)
+		return
+	}
+	graph[o] = row
+}
+
+// dirEdge is one direction of a link in the two-way-checked graph.
+type dirEdge struct {
+	from, to topo.NodeID
+	link     topo.LinkID
+}
+
+// linkChange accumulates the directed-edge diff of one link.
+type linkChange struct {
+	add  bool
+	u, v topo.NodeID
+	dirs int
+	ok   bool
+}
+
+// computeIncremental tries to serve the pending SPF run by repairing the
+// cached state. It returns false when the caller must fall back to a full
+// recomputation; on true the state (and counters) are up to date.
+func (i *Instance) computeIncremental() bool {
+	st := &i.spf
+	dirtyIDs := detsort.Keys(st.dirty)
+	if len(dirtyIDs) == 0 {
+		st.sameRuns++
+		return true
+	}
+
+	// Recompute the adjacency rows of every dirty origin, plus those of
+	// their peers: the two-way check makes a peer's edge toward a dirty
+	// origin depend on the dirty LSA.
+	newRows := make(map[topo.NodeID][]edge, len(dirtyIDs))
+	for _, o := range dirtyIDs {
+		newRows[o] = i.buildRow(o)
+	}
+	peerSet := make(map[topo.NodeID]bool)
+	for _, o := range dirtyIDs {
+		for _, e := range st.graph[o] {
+			if !st.dirty[e.to] {
+				peerSet[e.to] = true
+			}
+		}
+		for _, e := range newRows[o] {
+			if !st.dirty[e.to] {
+				peerSet[e.to] = true
+			}
+		}
+	}
+	peerRows := make(map[topo.NodeID][]edge, len(peerSet))
+	for _, x := range detsort.Keys(peerSet) {
+		peerRows[x] = i.buildRow(x)
+	}
+
+	// Diff old vs new rows into per-link changes. Directions must pair up
+	// (symmetry of the two-way check); anything inconsistent bails.
+	links := make(map[topo.LinkID]*linkChange)
+	record := func(de dirEdge, add bool) {
+		lc := links[de.link]
+		if lc == nil {
+			links[de.link] = &linkChange{add: add, u: de.from, v: de.to, dirs: 1, ok: true}
+			return
+		}
+		lc.dirs++
+		if lc.add != add || !(lc.u == de.to && lc.v == de.from) {
+			lc.ok = false
+		}
+	}
+	diffRow := func(from topo.NodeID, oldRow, newRow []edge) {
+		old := make(map[edge]bool, len(oldRow))
+		for _, e := range oldRow {
+			old[e] = true
+		}
+		cur := make(map[edge]bool, len(newRow))
+		for _, e := range newRow {
+			cur[e] = true
+		}
+		for _, e := range newRow {
+			if !old[e] {
+				record(dirEdge{from: from, to: e.to, link: e.link}, true)
+			}
+		}
+		for _, e := range oldRow {
+			if !cur[e] {
+				record(dirEdge{from: from, to: e.to, link: e.link}, false)
+			}
+		}
+	}
+	for _, o := range dirtyIDs {
+		diffRow(o, st.graph[o], newRows[o])
+	}
+	for _, x := range detsort.Keys(peerRows) {
+		diffRow(x, st.graph[x], peerRows[x])
+	}
+
+	apply := func() {
+		for _, o := range dirtyIDs {
+			setRow(st.graph, o, newRows[o])
+		}
+		//f2tree:unordered independent row installs; order-free
+		for x, row := range peerRows {
+			setRow(st.graph, x, row)
+		}
+		st.dirty = nil
+	}
+
+	if len(links) == 0 {
+		// Seq bumps, prefix changes, or an edge change whose two-way check
+		// already failed: the graph is untouched, only emission can differ.
+		apply()
+		st.sameRuns++
+		return true
+	}
+	if len(links) > 1 {
+		return false // structural change: full recomputation
+	}
+	var lc *linkChange
+	//f2tree:unordered single-entry map
+	for _, c := range links {
+		lc = c
+	}
+	if !lc.ok || lc.dirs != 2 {
+		return false
+	}
+	apply()
+	var repaired bool
+	if lc.add {
+		repaired = i.repairAdd(lc.u, lc.v)
+	} else {
+		repaired = i.repairRemove(lc.u, lc.v)
+	}
+	if !repaired {
+		return false
+	}
+	st.incRuns++
+	return true
+}
+
+// repairRemove repairs dist/nh after the single link between u and v was
+// removed (the adjacency rows are already updated). Distances can only
+// increase, and only inside the set of taut descendants of the downstream
+// endpoint. Returns false to request a full fallback.
+func (i *Instance) repairRemove(u, v topo.NodeID) bool {
+	st := &i.spf
+	du, dv := i.distOf(u), i.distOf(v)
+	var y topo.NodeID
+	switch {
+	case taut(du, dv):
+		y = v
+	case taut(dv, du):
+		y = u
+	default:
+		return true // no shortest path used the link; dist and nh stand
+	}
+
+	// P: y plus its taut descendants under the old distances — the only
+	// nodes whose distance or first-hop set can change. The removed edge is
+	// gone from the rows, and it is not a taut out-edge of any member.
+	affected := map[topo.NodeID]bool{y: true}
+	queue := []topo.NodeID{y}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for _, e := range st.graph[w] {
+			if affected[e.to] || !taut(i.distOf(w), i.distOf(e.to)) {
+				continue
+			}
+			affected[e.to] = true
+			queue = append(queue, e.to)
+		}
+	}
+	if affected[i.node] {
+		return false // the root's distance is 0; reaching it means corrupt state
+	}
+
+	// Settle the affected set in distance order, drawing initial candidates
+	// from unaffected parents (whose distances are final) and relaxing
+	// through already-settled members — Dijkstra restricted to P with a
+	// fixed boundary.
+	members := detsort.Keys(affected)
+	cand := make(map[topo.NodeID]int, len(members))
+	for _, w := range members {
+		best := inf
+		for _, e := range st.graph[w] { // out-edges double as in-edges
+			if affected[e.to] {
+				continue
+			}
+			if dp := i.distOf(e.to); dp != inf && dp+1 < best {
+				best = dp + 1
+			}
+		}
+		cand[w] = best
+	}
+	settled := make(map[topo.NodeID]bool, len(members))
+	var order []topo.NodeID
+	for len(order) < len(members) {
+		d := inf
+		for _, w := range members {
+			if !settled[w] && cand[w] < d {
+				d = cand[w]
+			}
+		}
+		if d == inf {
+			break // the rest lost their last path to the root
+		}
+		var batch []topo.NodeID
+		for _, w := range members {
+			if !settled[w] && cand[w] == d {
+				settled[w] = true
+				batch = append(batch, w)
+			}
+		}
+		for _, w := range batch {
+			st.dist[w] = d
+			order = append(order, w)
+			for _, e := range st.graph[w] {
+				if affected[e.to] && !settled[e.to] && d+1 < cand[e.to] {
+					cand[e.to] = d + 1
+				}
+			}
+		}
+	}
+	for _, w := range members {
+		if !settled[w] {
+			delete(st.dist, w)
+			delete(st.nh, w)
+		}
+	}
+	// Rebuild first-hop sets in settle order: every taut parent either lies
+	// outside P (unchanged) or settled strictly earlier.
+	for _, w := range order {
+		set := i.recomputeNH(w)
+		if len(set) == 0 {
+			return false // finite distance but no taut parent: corrupt state
+		}
+		st.nh[w] = set
+	}
+	return true
+}
+
+// repairAdd repairs dist/nh after the single link between u and v was
+// added (rows already updated). Distances can only decrease, propagating
+// outward from the farther endpoint in distance order.
+func (i *Instance) repairAdd(u, v topo.NodeID) bool {
+	st := &i.spf
+	du, dv := i.distOf(u), i.distOf(v)
+	if du == inf && dv == inf {
+		return true // still disconnected from the root
+	}
+	if dv < du {
+		u, v = v, u
+		du, dv = dv, du
+	}
+	if du == dv {
+		return true // neither direction is taut; nothing changes
+	}
+	newdv := du + 1
+	if newdv > dv {
+		return true // cannot happen with BFS-consistent state; defensive
+	}
+	distChanged := make(map[topo.NodeID]bool)
+	buckets := make(map[int]map[topo.NodeID]bool)
+	enq := func(w topo.NodeID, d int) {
+		b := buckets[d]
+		if b == nil {
+			b = make(map[topo.NodeID]bool, 2)
+			buckets[d] = b
+		}
+		b[w] = true
+	}
+	if newdv < dv {
+		st.dist[v] = newdv
+		distChanged[v] = true
+	}
+	enq(v, newdv)
+	// Pop buckets in increasing distance: every node's taut parents are
+	// final (distance and first-hop set) by the time it is popped, so one
+	// recomputeNH per popped node suffices. Propagation stops where
+	// neither the distance nor the first-hop set changed.
+	for len(buckets) > 0 {
+		ds := detsort.Keys(buckets)
+		d := ds[0]
+		bucket := buckets[d]
+		delete(buckets, d)
+		for _, w := range detsort.Keys(bucket) {
+			if i.distOf(w) != d {
+				continue // superseded by a closer repair
+			}
+			set := i.recomputeNH(w)
+			changed := distChanged[w] || !hopSetEqual(set, st.nh[w])
+			if len(set) == 0 {
+				return false
+			}
+			st.nh[w] = set
+			if !changed {
+				continue
+			}
+			for _, e := range st.graph[w] {
+				dz := i.distOf(e.to)
+				switch {
+				case d+1 < dz:
+					st.dist[e.to] = d + 1
+					distChanged[e.to] = true
+					enq(e.to, d+1)
+				case d+1 == dz:
+					enq(e.to, d+1)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// recomputeNH rebuilds a node's first-hop set from its taut in-edges (the
+// symmetric graph makes the out-edge list the in-edge list).
+func (i *Instance) recomputeNH(w topo.NodeID) map[fib.NextHop]bool {
+	st := &i.spf
+	dw := i.distOf(w)
+	set := make(map[fib.NextHop]bool, 2)
+	for _, e := range st.graph[w] {
+		p := e.to
+		if !taut(i.distOf(p), dw) {
+			continue
+		}
+		if p == i.node {
+			if hop, ok := i.firstHop(e.link, w); ok {
+				set[hop] = true
+			}
+		} else {
+			//f2tree:unordered set union; content is order-independent
+			for hop := range st.nh[p] {
+				set[hop] = true
+			}
+		}
+	}
+	return set
+}
+
+// verifySPF compares the incrementally maintained state against a fresh
+// full computation and panics on any divergence. Enabled by
+// Domain.EnableSelfCheck; the chaos equivalence suite runs every corpus
+// and fuzz scenario under it.
+func (i *Instance) verifySPF() {
+	st := &i.spf
+	fresh := i.buildGraph()
+	for _, o := range detsort.Keys(fresh) {
+		if !rowsEqual(st.graph[o], fresh[o]) {
+			panic(fmt.Sprintf("ospf ispf: node %d graph row of %d diverged: have %v want %v", i.node, o, st.graph[o], fresh[o]))
+		}
+	}
+	for _, o := range detsort.Keys(st.graph) {
+		if len(fresh[o]) == 0 && len(st.graph[o]) != 0 {
+			panic(fmt.Sprintf("ospf ispf: node %d keeps stale graph row of %d: %v", i.node, o, st.graph[o]))
+		}
+	}
+	dist, nh := i.runBFS(fresh)
+	for _, n := range detsort.Keys(dist) {
+		if got, ok := st.dist[n]; !ok || got != dist[n] {
+			panic(fmt.Sprintf("ospf ispf: node %d dist[%d] = %d (present=%v), want %d", i.node, n, got, ok, dist[n]))
+		}
+	}
+	for _, n := range detsort.Keys(st.dist) {
+		if _, ok := dist[n]; !ok {
+			panic(fmt.Sprintf("ospf ispf: node %d keeps stale dist[%d] = %d", i.node, n, st.dist[n]))
+		}
+	}
+	for _, n := range detsort.Keys(nh) {
+		if len(nh[n]) == 0 {
+			continue // full BFS can leave an empty placeholder set
+		}
+		if !hopSetEqual(st.nh[n], nh[n]) {
+			panic(fmt.Sprintf("ospf ispf: node %d nh[%d] = %v, want %v", i.node, n, st.nh[n], nh[n]))
+		}
+	}
+	for _, n := range detsort.Keys(st.nh) {
+		if len(st.nh[n]) != 0 && len(nh[n]) == 0 {
+			panic(fmt.Sprintf("ospf ispf: node %d keeps stale nh[%d] = %v", i.node, n, st.nh[n]))
+		}
+	}
+}
+
+func rowsEqual(a, b []edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// install lands a computed route set in the forwarding table. The steady
+// state is a delta install: diff against what this instance last handed to
+// the table and touch only the changed prefixes. The first install after
+// bootstrap, a crash or a restart — any point where the table contents
+// cannot be assumed — and every install under Config.FullSPF performs a
+// full ReplaceSource.
+func (i *Instance) install(routes []fib.Route) {
+	tbl := i.d.nw.Table(i.node)
+	if i.d.cfg.FullSPF || !i.installedValid {
+		_ = tbl.ReplaceSource(fib.OSPF, routes)
+		i.fullInstalls++
+	} else {
+		_ = tbl.ApplySourceDelta(fib.OSPF, fib.DiffRoutes(i.installed, routes))
+		i.deltaInstalls++
+	}
+	i.installed = routes
+	i.installedValid = true
+	if i.d.selfCheck {
+		i.verifyInstall(tbl, routes)
+	}
+}
+
+// verifyInstall asserts the table's OSPF routes equal the freshly computed
+// set — the delta-install equivalence gate.
+func (i *Instance) verifyInstall(tbl *fib.Table, routes []fib.Route) {
+	want := make([]fib.Route, len(routes))
+	copy(want, routes)
+	sort.Slice(want, func(x, y int) bool {
+		if want[x].Prefix.Bits() != want[y].Prefix.Bits() {
+			return want[x].Prefix.Bits() > want[y].Prefix.Bits()
+		}
+		return want[x].Prefix.Addr() < want[y].Prefix.Addr()
+	})
+	got := tbl.SourceRoutes(fib.OSPF)
+	diverged := len(got) != len(want)
+	if !diverged {
+		for idx := range got {
+			if got[idx].Prefix != want[idx].Prefix || !hopsListEqual(got[idx].NextHops, want[idx].NextHops) {
+				diverged = true
+				break
+			}
+		}
+	}
+	if diverged {
+		panic(fmt.Sprintf("ospf ispf: node %d FIB diverged after delta install:\nhave %v\nwant %v", i.node, got, want))
+	}
+}
+
+func hopsListEqual(a, b []fib.NextHop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SPFBreakdown reports how this instance's SPF runs were served: full BFS,
+// single-link DAG repairs, and runs where no adjacency changed.
+func (i *Instance) SPFBreakdown() (full, incremental, unchanged int) {
+	return i.spf.fullRuns, i.spf.incRuns, i.spf.sameRuns
+}
+
+// InstallBreakdown reports full ReplaceSource installs vs delta installs.
+func (i *Instance) InstallBreakdown() (full, delta int) {
+	return i.fullInstalls, i.deltaInstalls
+}

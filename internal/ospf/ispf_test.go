@@ -1,0 +1,146 @@
+package ospf
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// fibDigest concatenates every switch forwarding table in node order —
+// the state two equivalent control planes must agree on.
+func fibDigest(l *lab) string {
+	var b strings.Builder
+	for _, nd := range l.topo.Nodes {
+		if nd.Kind == topo.Host {
+			continue
+		}
+		b.WriteString(nd.Name)
+		b.WriteString("\n")
+		b.WriteString(l.nw.Table(nd.ID).String())
+	}
+	return b.String()
+}
+
+// timedEvent is one entry of a link up/down schedule.
+type timedEvent struct {
+	at time.Duration
+	fn func(*lab)
+}
+
+// driveLinkEvents applies the same timed link up/down schedule to a lab
+// and runs it to the horizon.
+func driveLinkEvents(t *testing.T, l *lab, events []timedEvent, horizon time.Duration) {
+	t.Helper()
+	for _, ev := range events {
+		fn := ev.fn
+		l.sim.At(sim.Time(ev.at), func(sim.Time) { fn(l) })
+	}
+	if err := l.sim.Run(sim.Time(horizon)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalSPFSelfChecksThroughLinkChurn drives failures, restores,
+// a flap and a crash/restart through a self-checking incremental control
+// plane: every incremental run is compared against a full recomputation
+// and panics on divergence.
+func TestIncrementalSPFSelfChecksThroughLinkChurn(t *testing.T) {
+	l := newFatTreeLab(t, 4, Config{})
+	l.dom.EnableSelfCheck()
+	agg := l.topo.FindNode("agg-p0-0")
+	torLink := func(l *lab) topo.LinkID {
+		for _, lk := range l.topo.LinksOf(agg.ID) {
+			other, _ := lk.Other(agg.ID)
+			if l.topo.Node(other).Kind == topo.ToR {
+				return lk.ID
+			}
+		}
+		t.Fatal("no tor link")
+		return 0
+	}
+	coreLink := func(l *lab) topo.LinkID {
+		for _, lk := range l.topo.LinksOf(agg.ID) {
+			other, _ := lk.Other(agg.ID)
+			if l.topo.Node(other).Kind == topo.Core {
+				return lk.ID
+			}
+		}
+		t.Fatal("no core link")
+		return 0
+	}
+	crash := l.topo.FindNode("agg-p1-0")
+	events := []timedEvent{
+		{300 * time.Millisecond, func(l *lab) { l.nw.FailLink(torLink(l)) }},
+		{1200 * time.Millisecond, func(l *lab) { l.nw.RestoreLink(torLink(l)) }},
+		{2500 * time.Millisecond, func(l *lab) { l.nw.FailLink(coreLink(l)) }},
+		{2600 * time.Millisecond, func(l *lab) { l.nw.RestoreLink(coreLink(l)) }},
+		{4000 * time.Millisecond, func(l *lab) {
+			l.dom.SetNodeDown(l.sim.Now(), crash.ID, true)
+		}},
+		{4500 * time.Millisecond, func(l *lab) {
+			l.dom.SetNodeDown(l.sim.Now(), crash.ID, false)
+			l.dom.RefreshAll(l.sim.Now())
+		}},
+	}
+	driveLinkEvents(t, l, events, 20*time.Second)
+	full, incremental, unchanged := l.dom.SPFTotals()
+	if incremental == 0 {
+		t.Fatalf("no incremental SPF runs (full=%d inc=%d same=%d)", full, incremental, unchanged)
+	}
+	fullInst, delta := l.dom.InstallTotals()
+	if delta == 0 {
+		t.Fatalf("no delta FIB installs (full=%d delta=%d)", fullInst, delta)
+	}
+}
+
+// TestIncrementalMatchesFullSPFEndState runs the same churn schedule under
+// the incremental control plane and under the FullSPF ablation and
+// requires byte-identical forwarding state at the end.
+func TestIncrementalMatchesFullSPFEndState(t *testing.T) {
+	schedule := func(cfg Config) string {
+		l := newFatTreeLab(t, 4, cfg)
+		agg := l.topo.FindNode("agg-p2-1")
+		var links []topo.LinkID
+		for _, lk := range l.topo.LinksOf(agg.ID) {
+			other, _ := lk.Other(agg.ID)
+			if l.topo.Node(other).Kind != topo.Host {
+				links = append(links, lk.ID)
+			}
+		}
+		events := []timedEvent{
+			{250 * time.Millisecond, func(l *lab) { l.nw.FailLink(links[0]) }},
+			{900 * time.Millisecond, func(l *lab) { l.nw.FailLink(links[1]) }},
+			{1700 * time.Millisecond, func(l *lab) { l.nw.RestoreLink(links[0]) }},
+			{2600 * time.Millisecond, func(l *lab) { l.nw.RestoreLink(links[1]) }},
+		}
+		driveLinkEvents(t, l, events, 25*time.Second)
+		return fibDigest(l)
+	}
+	inc := schedule(Config{})
+	full := schedule(Config{FullSPF: true})
+	if inc != full {
+		t.Fatalf("incremental and full control planes diverged:\n--- incremental ---\n%s\n--- full ---\n%s", inc, full)
+	}
+}
+
+// TestFullSPFAblationDisablesIncrementalPaths pins the ablation flag:
+// under FullSPF every run is a full BFS and every install a full replace.
+func TestFullSPFAblationDisablesIncrementalPaths(t *testing.T) {
+	l := newFatTreeLab(t, 4, Config{FullSPF: true})
+	agg := l.topo.FindNode("agg-p0-0")
+	lk := l.topo.LinksOf(agg.ID)[0]
+	l.sim.At(sim.Time(300*time.Millisecond), func(sim.Time) { l.nw.FailLink(lk.ID) })
+	if err := l.sim.Run(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	_, incremental, unchanged := l.dom.SPFTotals()
+	if incremental != 0 || unchanged != 0 {
+		t.Fatalf("ablation ran incremental paths: inc=%d same=%d", incremental, unchanged)
+	}
+	if _, delta := l.dom.InstallTotals(); delta != 0 {
+		t.Fatalf("ablation performed %d delta installs", delta)
+	}
+}

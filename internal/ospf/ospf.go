@@ -44,6 +44,12 @@ type Config struct {
 	// DisableThrottle removes the hold backoff (ablation: every trigger
 	// waits only SPFDelay).
 	DisableThrottle bool
+	// FullSPF forces a full shortest-path recomputation and a full FIB
+	// ReplaceSource on every run — the pre-incremental behaviour, kept as
+	// the ablation baseline the incremental path is proven equivalent to.
+	// The default repairs the cached DAG on single-link changes and
+	// installs only the changed prefixes (ispf.go).
+	FullSPF bool
 }
 
 // DefaultConfig returns Quagga's defaults as the paper describes them.
@@ -107,6 +113,10 @@ type Domain struct {
 	instances   map[topo.NodeID]*Instance
 	onSPF       func(now sim.Time, node topo.NodeID)
 	floodFilter FloodFilter
+	// selfCheck compares every incremental SPF result and every delta FIB
+	// install against a from-scratch recomputation, panicking on any
+	// divergence. Tests and the chaos equivalence suite enable it.
+	selfCheck bool
 }
 
 // Instance is the per-router protocol state. It lives on the shard that
@@ -130,6 +140,18 @@ type Instance struct {
 	wasHeld   bool
 	holdUntil sim.Time
 	curHold   time.Duration
+
+	// Incremental SPF memory (ispf.go).
+	spf spfState
+	// installed is the OSPF route list most recently handed to the FIB;
+	// delta installs diff the next computation against it. installedValid
+	// is false whenever the table contents cannot be assumed (before the
+	// first install, after a crash or restart), forcing a full
+	// ReplaceSource.
+	installed      []fib.Route
+	installedValid bool
+	fullInstalls   int
+	deltaInstalls  int
 
 	// Diagnostics.
 	spfRuns   int
@@ -184,9 +206,18 @@ func (d *Domain) SetNodeDown(now sim.Time, node topo.NodeID, down bool) {
 	}
 	inst.down = down
 	if down {
+		// The forwarding table may be cleared while the router is down;
+		// the first post-restart install must not trust a stale diff base.
+		inst.installedValid = false
 		return
 	}
 	inst.lsdb = make(map[topo.NodeID]*LSA)
+	inst.spf = spfState{
+		fullRuns: inst.spf.fullRuns,
+		incRuns:  inst.spf.incRuns,
+		sameRuns: inst.spf.sameRuns,
+	}
+	inst.installed = nil
 	inst.pending = false
 	inst.curHold = d.cfg.SPFHoldInitial
 	inst.holdUntil = 0
@@ -221,6 +252,32 @@ func (d *Domain) RefreshAll(now sim.Time) {
 // Instance returns the protocol instance of a switch, or nil.
 func (d *Domain) Instance(node topo.NodeID) *Instance { return d.instances[node] }
 
+// EnableSelfCheck makes every incremental SPF run and delta FIB install
+// verify itself against a full recomputation, panicking on divergence.
+// It is the equivalence gate the chaos corpus and fuzz suites run under.
+func (d *Domain) EnableSelfCheck() { d.selfCheck = true }
+
+// SPFTotals sums the per-instance SPF breakdown across the domain.
+func (d *Domain) SPFTotals() (full, incremental, unchanged int) {
+	for _, id := range detsort.Keys(d.instances) {
+		f, inc, same := d.instances[id].SPFBreakdown()
+		full += f
+		incremental += inc
+		unchanged += same
+	}
+	return full, incremental, unchanged
+}
+
+// InstallTotals sums the per-instance FIB install breakdown.
+func (d *Domain) InstallTotals() (full, delta int) {
+	for _, id := range detsort.Keys(d.instances) {
+		f, del := d.instances[id].InstallBreakdown()
+		full += f
+		delta += del
+	}
+	return full, delta
+}
+
 // Config returns the effective configuration.
 func (d *Domain) Config() Config { return d.cfg }
 
@@ -248,6 +305,8 @@ func (d *Domain) Bootstrap() error {
 		if err := d.nw.Table(inst.node).ReplaceSource(fib.OSPF, routes); err != nil {
 			return fmt.Errorf("bootstrap %s: %w", d.topo.Node(inst.node).Name, err)
 		}
+		inst.installed = routes
+		inst.installedValid = true
 		inst.spfRuns++
 	}
 	return nil
@@ -290,6 +349,7 @@ func (i *Instance) originateLocked() *LSA {
 		lsa.Prefixes = append(lsa.Prefixes, nd.Subnet)
 	}
 	i.lsdb[i.node] = lsa
+	i.markDirty(i.node)
 	return lsa
 }
 
@@ -344,6 +404,7 @@ func (i *Instance) receive(now sim.Time, lsa *LSA, from topo.NodeID) {
 		return // stale or duplicate
 	}
 	i.lsdb[lsa.Origin] = lsa
+	i.markDirty(lsa.Origin)
 	i.flood(now, lsa, from)
 	i.scheduleSPF(now)
 }
@@ -393,12 +454,13 @@ func (i *Instance) runSPF(now sim.Time) {
 	routes := i.computeRoutes()
 	i.d.sim.After(i.d.cfg.FIBUpdateDelay, func(at sim.Time) {
 		// Last-writer-wins is correct: installs are scheduled in SPF
-		// order. A crash between SPF and install loses the update, as a
-		// real switch would.
+		// order, and each delta diffs against what actually landed last.
+		// A crash between SPF and install loses the update, as a real
+		// switch would.
 		if i.down {
 			return
 		}
-		_ = i.d.nw.Table(i.node).ReplaceSource(fib.OSPF, routes)
+		i.install(routes)
 	})
 	if i.d.onSPF != nil {
 		i.d.onSPF(now, i.node)

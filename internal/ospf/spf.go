@@ -13,46 +13,97 @@ type edge struct {
 	link topo.LinkID
 }
 
+const inf = int(^uint(0) >> 1)
+
 // computeRoutes runs the shortest-path computation over the LSDB and
 // returns the ECMP routes to every advertised prefix. Links have unit cost
 // (the paper's footnote 4), so Dijkstra reduces to BFS with equal-cost
 // predecessor merging. An adjacency is used only if both routers advertise
 // it over the same link (the OSPF two-way check), which keeps half-dead
 // links out of the graph while detections race.
+//
+// The steady state is incremental: a single-link LSA change repairs the
+// cached shortest-path DAG (ispf.go) instead of recomputing it. Full BFS
+// runs on the first computation, on structural changes the repair does not
+// cover, and always under Config.FullSPF (the equivalence baseline).
 func (i *Instance) computeRoutes() []fib.Route {
-	adjOK := func(from, to topo.NodeID, link topo.LinkID) bool {
-		peer := i.lsdb[to]
-		if peer == nil {
-			return false
+	switch {
+	case i.d.cfg.FullSPF || !i.spf.valid:
+		i.computeFull()
+	case i.computeIncremental():
+		if i.d.selfCheck {
+			i.verifySPF()
 		}
-		for _, a := range peer.Adjacencies {
-			if a.Neighbor == from && a.Link == link {
-				return true
-			}
-		}
+	default:
+		i.computeFull()
+	}
+	return i.emitRoutes()
+}
+
+// adjOK reports whether the peer advertises the same link back — the OSPF
+// two-way check. Edge presence is symmetric in the endpoint LSAs, which is
+// what lets the incremental path treat directed-edge changes as whole-link
+// changes.
+func (i *Instance) adjOK(from, to topo.NodeID, link topo.LinkID) bool {
+	peer := i.lsdb[to]
+	if peer == nil {
 		return false
 	}
-	graph := make(map[topo.NodeID][]edge, len(i.lsdb))
-	for _, origin := range detsort.Keys(i.lsdb) {
-		for _, a := range i.lsdb[origin].Adjacencies {
-			if adjOK(origin, a.Neighbor, a.Link) {
-				graph[origin] = append(graph[origin], edge{to: a.Neighbor, link: a.Link})
-			}
+	for _, a := range peer.Adjacencies {
+		if a.Neighbor == from && a.Link == link {
+			return true
 		}
 	}
-	for _, n := range detsort.Keys(graph) {
-		es := graph[n]
-		sort.Slice(es, func(x, y int) bool {
-			if es[x].to != es[y].to {
-				return es[x].to < es[y].to
-			}
-			return es[x].link < es[y].link
-		})
-	}
+	return false
+}
 
-	// BFS from self with ECMP merging. nh[v] is the set of local first-hop
-	// next hops beginning some shortest path to v.
-	const inf = int(^uint(0) >> 1)
+// buildRow returns origin's adjacency row — its two-way-checked out-edges,
+// sorted by (neighbor, link). nil when the origin has no usable edge.
+func (i *Instance) buildRow(origin topo.NodeID) []edge {
+	lsa := i.lsdb[origin]
+	if lsa == nil {
+		return nil
+	}
+	var row []edge
+	for _, a := range lsa.Adjacencies {
+		if i.adjOK(origin, a.Neighbor, a.Link) {
+			row = append(row, edge{to: a.Neighbor, link: a.Link})
+		}
+	}
+	sort.Slice(row, func(x, y int) bool {
+		if row[x].to != row[y].to {
+			return row[x].to < row[y].to
+		}
+		return row[x].link < row[y].link
+	})
+	return row
+}
+
+// buildGraph assembles the full adjacency-row map from the LSDB.
+func (i *Instance) buildGraph() map[topo.NodeID][]edge {
+	graph := make(map[topo.NodeID][]edge, len(i.lsdb))
+	for _, origin := range detsort.Keys(i.lsdb) {
+		if row := i.buildRow(origin); len(row) > 0 {
+			graph[origin] = row
+		}
+	}
+	return graph
+}
+
+// firstHop returns the local first hop for a directly attached link.
+func (i *Instance) firstHop(link topo.LinkID, to topo.NodeID) (fib.NextHop, bool) {
+	l := i.d.topo.Link(link)
+	port, ok := l.PortOf(i.node)
+	if !ok {
+		return fib.NextHop{}, false
+	}
+	return fib.NextHop{Port: port, Via: i.d.topo.Node(to).Addr}, true
+}
+
+// runBFS computes distances and first-hop sets from self over the graph.
+// nh[v] is the set of local first-hop next hops beginning some shortest
+// path to v.
+func (i *Instance) runBFS(graph map[topo.NodeID][]edge) (map[topo.NodeID]int, map[topo.NodeID]map[fib.NextHop]bool) {
 	dist := make(map[topo.NodeID]int, len(graph))
 	nh := make(map[topo.NodeID]map[fib.NextHop]bool, len(graph))
 	distOf := func(n topo.NodeID) int {
@@ -83,12 +134,11 @@ func (i *Instance) computeRoutes() []fib.Route {
 				}
 				if u == i.node {
 					// First hop: the local port of this link.
-					l := i.d.topo.Link(e.link)
-					port, ok := l.PortOf(i.node)
+					hop, ok := i.firstHop(e.link, e.to)
 					if !ok {
 						continue
 					}
-					set[fib.NextHop{Port: port, Via: i.d.topo.Node(e.to).Addr}] = true
+					set[hop] = true
 				} else {
 					//f2tree:unordered set union; content is order-independent
 					for hop := range nh[u] {
@@ -99,15 +149,30 @@ func (i *Instance) computeRoutes() []fib.Route {
 		}
 		frontier = dedupe(next)
 	}
+	return dist, nh
+}
 
-	// Emit one route per advertised prefix of every other reachable router.
+// computeFull rebuilds the shortest-path state from scratch and resets the
+// incremental bookkeeping.
+func (i *Instance) computeFull() {
+	st := &i.spf
+	st.graph = i.buildGraph()
+	st.dist, st.nh = i.runBFS(st.graph)
+	st.dirty = nil
+	st.valid = true
+	st.fullRuns++
+}
+
+// emitRoutes emits one route per advertised prefix of every other
+// reachable router, from the current shortest-path state.
+func (i *Instance) emitRoutes() []fib.Route {
 	var routes []fib.Route
 	for _, o := range detsort.Keys(i.lsdb) {
 		if o == i.node {
 			continue
 		}
 		lsa := i.lsdb[o]
-		set := nh[o]
+		set := i.spf.nh[o]
 		if len(set) == 0 || len(lsa.Prefixes) == 0 {
 			continue
 		}
