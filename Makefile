@@ -19,7 +19,8 @@ fmt-check:
 
 # The determinism and contract gate: stock go vet plus the analyzers from
 # internal/analysis — mapiter, simclock, lockcheck, poolcheck, hotpathalloc,
-# epochcheck, handlecheck, shardcheck — run in parallel dependency order
+# epochcheck, handlecheck, shardcheck, and the CFG-backed concurrency four
+# (lockorder, goleak, chanblock, wgcheck) — run in parallel dependency order
 # with cross-package fact propagation (see README "Determinism gate").
 f2tree-vet:
 	$(GO) run ./cmd/f2tree-vet ./...

@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -63,13 +64,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	srv, err := serve.NewServer(serve.Config{Workers: *j, Timeout: *timeout, StorePath: *store})
+	srv, err := serve.NewServer(serve.Config{
+		Workers: *j, Timeout: *timeout, StorePath: *store,
+		Fingerprint: buildFingerprint(),
+	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	for _, w := range srv.Warnings() {
 		fmt.Fprintln(stderr, "f2tree-serve: warning:", w)
+	}
+	if *store != "" {
+		fmt.Fprintf(stdout, "f2tree-serve: cache schema %s\n", srv.Schema())
 	}
 	if n := srv.CacheLen(); n > 0 {
 		fmt.Fprintf(stdout, "f2tree-serve: warm start with %d cached answers\n", n)
@@ -85,6 +92,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "f2tree-serve: listening on http://%s (workers %d)\n", ln.Addr(), *j)
 	return http.Serve(ln, srv.Handler())
+}
+
+// buildFingerprint resolves the cache-versioning fingerprint at startup.
+// Run from a module checkout (the `go run` mode, where the executable is
+// a transient build artifact), it hashes the Go sources via the
+// go-list-free file walk, so the cache invalidates exactly when the
+// simulator's code changes; deployed as a bare binary it hashes the
+// executable itself.
+func buildFingerprint() string {
+	dir, err := os.Getwd()
+	if err == nil {
+		for d := dir; ; {
+			if _, statErr := os.Stat(filepath.Join(d, "go.mod")); statErr == nil {
+				if fp, fpErr := serve.FingerprintDir(d); fpErr == nil {
+					return fp
+				}
+				break
+			}
+			parent := filepath.Dir(d)
+			if parent == d {
+				break
+			}
+			d = parent
+		}
+	}
+	return serve.Fingerprint()
 }
 
 // benchQuery is one measured query of the bench report.

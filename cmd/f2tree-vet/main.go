@@ -1,8 +1,9 @@
 // Command f2tree-vet is the repository's determinism, contract and
-// lifecycle static-analysis gate. It runs the stock `go vet` passes and
+// concurrency static-analysis gate. It runs the stock `go vet` passes and
 // then the custom analyzers from internal/analysis — mapiter, simclock,
-// lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck and
-// shardcheck — over every non-test package in the module, and exits
+// lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck, shardcheck,
+// plus the CFG-backed concurrency four: lockorder, goleak, chanblock and
+// wgcheck — over every non-test package in the module, and exits
 // non-zero on any finding. Packages are analyzed in parallel dependency
 // order: each package runs only after its dependencies, so the facts they
 // export (allocates-on-steady-path, reads-wall-clock, shardlocal, ...)
@@ -73,8 +74,9 @@ func run(args []string) int {
 	verbose := fs.Bool("v", false, "report each package as it is analyzed, plus cache stats")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: f2tree-vet [flags] [packages]\n\n")
-		fmt.Fprintf(fs.Output(), "Runs go vet plus the determinism/contract analyzers (mapiter, simclock,\n")
-		fmt.Fprintf(fs.Output(), "lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck, shardcheck)\n")
+		fmt.Fprintf(fs.Output(), "Runs go vet plus the determinism/contract/concurrency analyzers (mapiter,\n")
+		fmt.Fprintf(fs.Output(), "simclock, lockcheck, poolcheck, hotpathalloc, epochcheck, handlecheck,\n")
+		fmt.Fprintf(fs.Output(), "shardcheck, lockorder, goleak, chanblock, wgcheck)\n")
 		fmt.Fprintf(fs.Output(), "in parallel dependency order with cross-package fact propagation.\n")
 		fmt.Fprintf(fs.Output(), "Default package pattern: ./...\n\n")
 		fs.PrintDefaults()

@@ -17,6 +17,8 @@ const (
 	VerbNoEpoch     = "noepoch"     // epochcheck
 	VerbHandle      = "handle"      // handlecheck
 	VerbShardPort   = "shardport"   // shardcheck
+	VerbBlocking    = "blocking"    // goleak, chanblock, wgcheck
+	VerbLockOrder   = "lockorder"   // lockorder
 )
 
 // Marker verbs: they declare a contract instead of suppressing a finding
@@ -42,6 +44,12 @@ var suppressionAnalyzer = map[string]string{
 	VerbNoEpoch:     "epochcheck",
 	VerbHandle:      "handlecheck",
 	VerbShardPort:   "shardcheck",
+	// blocking is shared: goleak, chanblock and wgcheck all diagnose
+	// block-forever failure modes, and one documented reason covers the
+	// seam for all three. Staleness is keyed by verb, not analyzer, so a
+	// directive kept alive by any of the three is not stale.
+	VerbBlocking:  "goleak/chanblock/wgcheck",
+	VerbLockOrder: "lockorder",
 }
 
 // markerVerbs is the set of non-suppressing directive verbs.

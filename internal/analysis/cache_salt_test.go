@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAnalyzersHash pins the salt format: a stable "name@version" list,
+// so any change to the analyzer set or to one analyzer's Version changes
+// every result-cache key.
+func TestAnalyzersHash(t *testing.T) {
+	a := &analysis.Analyzer{Name: "alpha", Version: 1}
+	b := &analysis.Analyzer{Name: "beta", Version: 3}
+	if got, want := analysis.AnalyzersHash([]*analysis.Analyzer{a, b}), "alpha@1,beta@3"; got != want {
+		t.Fatalf("AnalyzersHash = %q, want %q", got, want)
+	}
+	base := analysis.AnalyzersHash([]*analysis.Analyzer{a, b})
+	bumped := analysis.AnalyzersHash([]*analysis.Analyzer{a, {Name: "beta", Version: 4}})
+	if base == bumped {
+		t.Error("bumping an analyzer Version did not change the hash")
+	}
+	dropped := analysis.AnalyzersHash([]*analysis.Analyzer{a})
+	if base == dropped {
+		t.Error("removing an analyzer did not change the hash")
+	}
+}
+
+// TestDiskCacheInvalidatedByAnalyzerVersion is the stale-cache regression
+// test: a warm cache populated by version N of an analyzer must NOT be
+// replayed once the analyzer's logic (its Version) changes — the bumped
+// run must miss for every package and recompute.
+func TestDiskCacheInvalidatedByAnalyzerVersion(t *testing.T) {
+	pkgs := loadLockgraph(t)
+	dir := t.TempDir()
+
+	v1 := &analysis.Analyzer{
+		Name:    analysis.LockOrder.Name,
+		Version: analysis.LockOrder.Version,
+		Doc:     analysis.LockOrder.Doc,
+		Run:     analysis.LockOrder.Run,
+	}
+	cold := &analysis.DiskCache{Dir: dir}
+	if _, err := analysis.RunGraph(pkgs, []*analysis.Analyzer{v1}, analysis.RunOptions{Cache: cold}); err != nil {
+		t.Fatalf("cold RunGraph: %v", err)
+	}
+	if cold.Misses != len(pkgs) {
+		t.Fatalf("cold run: %d misses, want %d", cold.Misses, len(pkgs))
+	}
+
+	// Same analyzer set, same packages: all hits.
+	warm := &analysis.DiskCache{Dir: dir}
+	if _, err := analysis.RunGraph(pkgs, []*analysis.Analyzer{v1}, analysis.RunOptions{Cache: warm}); err != nil {
+		t.Fatalf("warm RunGraph: %v", err)
+	}
+	if warm.Hits != len(pkgs) || warm.Misses != 0 {
+		t.Errorf("warm run: %d hits / %d misses, want %d / 0", warm.Hits, warm.Misses, len(pkgs))
+	}
+
+	// Bump the Version — simulating an analyzer logic change — and the
+	// same cache directory must be cold again.
+	v2 := &analysis.Analyzer{Name: v1.Name, Version: v1.Version + 1, Doc: v1.Doc, Run: v1.Run}
+	bumped := &analysis.DiskCache{Dir: dir}
+	if _, err := analysis.RunGraph(pkgs, []*analysis.Analyzer{v2}, analysis.RunOptions{Cache: bumped}); err != nil {
+		t.Fatalf("bumped RunGraph: %v", err)
+	}
+	if bumped.Hits != 0 || bumped.Misses != len(pkgs) {
+		t.Errorf("version-bumped run: %d hits / %d misses, want 0 / %d — stale cache entries were reused", bumped.Hits, bumped.Misses, len(pkgs))
+	}
+}

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// This file is the control-flow layer under the concurrency analyzers
+// (lockorder, goleak, chanblock, wgcheck): a stdlib-only per-function CFG
+// builder in the spirit of golang.org/x/tools/go/cfg, which this module
+// cannot depend on. The forward-dataflow solver over it lives in
+// dataflow.go.
+
+// CFG is the control-flow graph of one function body: basic blocks of
+// atomic statements connected by branch, loop, panic and fall-through
+// edges. Composite statements (if/for/switch/select) never appear whole in
+// a block — their guards and bodies are distributed over blocks of their
+// own — so a transfer function can fold a block's Nodes left to right
+// without re-implementing control flow.
+type CFG struct {
+	// Entry is the unique entry block; Exit is the unique exit every
+	// return, fall-off and recognized panicking call flows into.
+	Entry, Exit *Block
+	// Blocks lists every block in creation order (deterministic for a given
+	// body), Entry first and Exit last.
+	Blocks []*Block
+	// Defers collects the body's defer statements in source order. Deferred
+	// calls run at every exit, so path-insensitive effects (a deferred
+	// Unlock, a deferred Done) are usually applied against Exit by the
+	// analyzer rather than modeled as edges.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the block's atomic statements and guard expressions in
+	// execution order: simple statements, if/for/switch conditions, range
+	// operands and select comm statements.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// BuildCFG constructs the CFG of a function body. The builder is purely
+// syntactic: a call to panic, os.Exit, runtime.Goexit or log.Fatal* ends
+// its block with an edge straight to Exit, and statements made unreachable
+// by return/break/continue/goto land in fresh blocks with no predecessors,
+// so Reachable reports them dead.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{}
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Fall-off of the body flows to Exit.
+	b.jump(b.cfg.Exit)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	for i, blk := range b.cfg.Blocks {
+		blk.Index = i
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// Reachable reports whether blk is reachable from the entry block.
+func (g *CFG) Reachable(blk *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	work := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		if c == blk {
+			return true
+		}
+		for _, s := range c.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// loopTarget is one enclosing breakable/continuable construct.
+type loopTarget struct {
+	label string
+	brk   *Block // break target (nil for none)
+	cont  *Block // continue target (nil for switch/select)
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return/panic/break/...) until the next statement opens a fresh,
+	// unreachable block.
+	cur     *Block
+	targets []loopTarget
+	// gotoBlocks maps each label used by a goto to its target block,
+	// created on first reference from either side.
+	gotoBlocks map[string]*Block
+	// pendingLabel carries a label down to the loop/switch it names.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// block returns the current block, opening a fresh unreachable one if the
+// previous statement terminated control flow.
+func (b *cfgBuilder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.block().Nodes = append(b.block().Nodes, n) }
+
+// jump adds an edge from the current block to dst and terminates the
+// current block. A nil current block (already terminated) is a no-op.
+func (b *cfgBuilder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// edge adds an edge without terminating the source block.
+func edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if b.gotoBlocks == nil {
+		b.gotoBlocks = make(map[string]*Block)
+	}
+	if blk, ok := b.gotoBlocks[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.gotoBlocks[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+
+	case *ast.LabeledStmt:
+		// A label is both a goto target and (for loops/switches) a named
+		// break/continue scope.
+		target := b.labelBlock(x.Label.Name)
+		b.jump(target)
+		b.cur = target
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(x)
+
+	case *ast.DeferStmt:
+		b.add(x)
+		b.cfg.Defers = append(b.cfg.Defers, x)
+
+	case *ast.ExprStmt:
+		b.add(x)
+		if call, ok := x.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			b.jump(b.cfg.Exit)
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(x)
+
+	case *ast.ForStmt:
+		b.forStmt(x)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(x)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(x.Init, x.Tag, nil, x.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(x.Init, nil, x.Assign, x.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(x)
+
+	default:
+		// Assign, IncDec, Send, Decl, Go, Empty: atomic.
+		b.add(x)
+	}
+}
+
+func (b *cfgBuilder) branch(x *ast.BranchStmt) {
+	label := ""
+	if x.Label != nil {
+		label = x.Label.Name
+	}
+	switch x.Tok.String() {
+	case "break":
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.brk != nil && (label == "" || t.label == label) {
+				b.jump(t.brk)
+				return
+			}
+		}
+	case "continue":
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont != nil && (label == "" || t.label == label) {
+				b.jump(t.cont)
+				return
+			}
+		}
+	case "goto":
+		if x.Label != nil {
+			b.jump(b.labelBlock(x.Label.Name))
+			return
+		}
+	}
+	// fallthrough is handled by switchStmt; a malformed branch just
+	// terminates the block.
+	b.cur = nil
+}
+
+func (b *cfgBuilder) ifStmt(x *ast.IfStmt) {
+	if x.Init != nil {
+		b.stmt(x.Init)
+	}
+	b.add(x.Cond)
+	cond := b.block()
+	after := b.newBlock()
+
+	then := b.newBlock()
+	edge(cond, then)
+	b.cur = then
+	b.stmtList(x.Body.List)
+	b.jump(after)
+
+	if x.Else != nil {
+		els := b.newBlock()
+		edge(cond, els)
+		b.cur = els
+		b.stmt(x.Else)
+		b.jump(after)
+	} else {
+		edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(x *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if x.Init != nil {
+		b.stmt(x.Init)
+	}
+	head := b.newBlock()
+	b.jump(head)
+	b.cur = head
+	if x.Cond != nil {
+		b.add(x.Cond)
+	}
+	after := b.newBlock()
+	cont := head
+	var post *Block
+	if x.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	if x.Cond != nil {
+		edge(head, after) // `for {}` without cond has no exit edge here
+	}
+	body := b.newBlock()
+	edge(head, body)
+	b.cur = body
+	b.targets = append(b.targets, loopTarget{label: label, brk: after, cont: cont})
+	b.stmtList(x.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	if post != nil {
+		b.jump(post)
+		b.cur = post
+		b.stmt(x.Post)
+		b.jump(head)
+	} else {
+		b.jump(head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(x *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.add(x.X)
+	head := b.newBlock()
+	b.jump(head)
+	// The range head re-evaluates the iteration (and is the goleak
+	// analyzer's close-terminated channel-receive anchor).
+	head.Nodes = append(head.Nodes, x)
+	after := b.newBlock()
+	edge(head, after)
+	body := b.newBlock()
+	edge(head, body)
+	b.cur = body
+	b.targets = append(b.targets, loopTarget{label: label, brk: after, cont: head})
+	b.stmtList(x.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.jump(head)
+	b.cur = after
+}
+
+// switchStmt builds both expression and type switches: tag is the
+// expression switch's tag (may be nil), assign the type switch's assign
+// statement (may be nil).
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	cond := b.block()
+	after := b.newBlock()
+
+	// Create every case's body block first so fallthrough can target the
+	// next one.
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock()
+		edge(cond, caseBlocks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(cond, after)
+	}
+	b.targets = append(b.targets, loopTarget{label: label, brk: after})
+	for i, c := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range c.List {
+			b.add(e)
+		}
+		b.walkCaseBody(c.Body, caseBlocks, i, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// walkCaseBody walks one case clause, turning a trailing fallthrough into
+// an edge to the next case's body block.
+func (b *cfgBuilder) walkCaseBody(stmts []ast.Stmt, caseBlocks []*Block, i int, after *Block) {
+	for _, s := range stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			if i+1 < len(caseBlocks) {
+				b.jump(caseBlocks[i+1])
+			} else {
+				b.cur = nil
+			}
+			return
+		}
+		b.stmt(s)
+	}
+	b.jump(after)
+}
+
+func (b *cfgBuilder) selectStmt(x *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	cond := b.block()
+	after := b.newBlock()
+	b.targets = append(b.targets, loopTarget{label: label, brk: after})
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		edge(cond, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	// `select {}` blocks forever: after keeps no predecessor.
+	b.cur = after
+}
+
+// isTerminalCall reports (syntactically) whether a call never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := f.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && f.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && f.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(f.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}

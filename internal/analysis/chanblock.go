@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ChanBlock flags sends on channels that are unbuffered by construction —
+// every store the package makes to the operand is a capacity-free (or
+// constant-zero-capacity) make — unless the send sits in a select with an
+// escape (a default case or a stop/timeout receive case). An unbuffered
+// send is a rendezvous: it blocks until a receiver is ready, which is
+// exactly the handoff the paper's serving path cannot afford to stall on,
+// and the class of bug -race only catches when the schedule cooperates.
+//
+// Unlike goleak, which only looks inside spawned goroutine bodies,
+// chanblock applies everywhere reachable code sends: a blocking send on a
+// request path stalls the caller just as surely as it leaks a goroutine.
+// The audited escape hatch for an intentional rendezvous is
+// //f2tree:blocking <reason>.
+var ChanBlock = &Analyzer{
+	Name:    "chanblock",
+	Version: 1,
+	Doc:     "report sends on definitely-unbuffered channels not covered by a select with a default/stop/timeout case",
+	Run:     runChanBlock,
+}
+
+func runChanBlock(pass *Pass) error {
+	chans := chanStoreIndex(pass)
+
+	// Map each select comm statement to its select, per file, so a send
+	// used as a comm case is judged by its select's escape, not alone.
+	commOf := make(map[ast.Node]*ast.SelectStmt)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, c := range sel.Body.List {
+					if cc := c.(*ast.CommClause); cc.Comm != nil {
+						commOf[cc.Comm] = sel
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, u := range funcUnits(pass) {
+		g := BuildCFG(u.body)
+		for _, b := range g.Blocks {
+			if !g.Reachable(b) {
+				continue
+			}
+			for _, n := range b.Nodes {
+				send, ok := n.(*ast.SendStmt)
+				if !ok {
+					continue
+				}
+				if sel := commOf[send]; sel != nil && selectEscapes(sel) {
+					continue
+				}
+				if chans.classify(pass, chanExprObj(pass, send.Chan), nil) != chanUnbuffered {
+					continue
+				}
+				pass.ReportSuppressible(u.file, send.Pos(), VerbBlocking,
+					"send on %s, an unbuffered-by-construction channel, blocks until a receiver is at the rendezvous; buffer the channel, wrap the send in a select with a default/timeout case, or annotate //f2tree:blocking <reason>",
+					exprLabel(send.Chan))
+			}
+		}
+	}
+	return nil
+}

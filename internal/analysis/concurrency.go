@@ -1,0 +1,313 @@
+package analysis
+
+// Shared plumbing for the CFG-backed concurrency analyzers (lockorder,
+// goleak, chanblock, wgcheck): function-unit enumeration, node walking
+// that respects the CFG's decomposition, channel buffering resolution and
+// the stop-path heuristics goleak and chanblock agree on.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcUnit is one analyzable function: a declaration or a literal. Literal
+// bodies are separate units even though they appear nested inside their
+// enclosing declaration's syntax — a closure runs on its own schedule (or
+// goroutine), so its lock/channel/WaitGroup behavior must not be folded
+// into the enclosing function's control flow.
+type funcUnit struct {
+	body *ast.BlockStmt
+	file *ast.File
+	// fn is the declared function's object; nil for literals.
+	fn *types.Func
+	// pos anchors diagnostics about the unit as a whole.
+	pos token.Pos
+}
+
+// funcUnits enumerates every function body in the pass, declarations and
+// literals, in source order.
+func funcUnits(pass *Pass) []funcUnit {
+	var out []funcUnit
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					fn, _ := pass.TypesInfo.Defs[x.Name].(*types.Func)
+					out = append(out, funcUnit{body: x.Body, file: f, fn: fn, pos: x.Pos()})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcUnit{body: x.Body, file: f, pos: x.Pos()})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// nodeInspect walks one CFG node's subtree in execution position, skipping
+// what the block does not execute: nested function literals (separate
+// units), deferred statements when skipDefer (they run at function exit,
+// not in block order), and the body of a range statement (the CFG
+// distributes it over the loop's own blocks; the range node stands only
+// for the per-iteration head, whose operand was already emitted as its own
+// node).
+func nodeInspect(n ast.Node, skipDefer bool, f func(ast.Node) bool) {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		switch m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if skipDefer {
+				return false
+			}
+		}
+		return f(m)
+	})
+}
+
+// reachableNodes collects the CFG nodes of every reachable block into a
+// set, so syntactic walks can skip dead code the way a dataflow pass
+// would.
+func reachableNodes(g *CFG) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	for _, b := range g.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// Channel-buffering resolution: chanStores records every store of a
+// channel-valued expression into an object (variable or struct field), so
+// the analyzers can classify a channel as provably buffered (every store
+// is a make with a positive constant capacity), definitely unbuffered
+// (every store is a capacity-free or zero-capacity make) or unknown
+// (conflicting stores, non-constant capacities, parameters, or stores the
+// index cannot see).
+const (
+	chanUnknown = iota
+	chanBuffered
+	chanUnbuffered
+)
+
+type chanStores map[types.Object][]ast.Expr
+
+// chanUnknownStore is the sentinel for a store whose value the index
+// cannot classify (multi-value assignments, positional composite fields).
+var chanUnknownStore ast.Expr = &ast.BadExpr{}
+
+// chanStoreIndex scans the package for channel stores: plain assignments
+// and declarations, and keyed composite-literal fields (box{c: ch}), which
+// alias the field object to the stored channel.
+func chanStoreIndex(pass *Pass) chanStores {
+	idx := make(chanStores)
+	record := func(obj types.Object, rhs ast.Expr) {
+		if obj == nil || rhs == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+			return
+		}
+		idx[obj] = append(idx[obj], rhs)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						switch l := x.Lhs[i].(type) {
+						case *ast.Ident:
+							record(objectOf(pass, l), x.Rhs[i])
+						case *ast.SelectorExpr:
+							record(pass.TypesInfo.Uses[l.Sel], x.Rhs[i])
+						}
+					}
+				} else {
+					// ch, ok := f() — the value is not inspectable here.
+					for _, l := range x.Lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							record(objectOf(pass, id), chanUnknownStore)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) {
+						record(objectOf(pass, name), x.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				// Keyed struct fields alias the field object to the stored
+				// channel. Positional literals are left unrecorded: absence
+				// already means unknown, and unknown never produces a
+				// chanblock finding (and stays conservative in goleak).
+				for _, e := range x.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							record(pass.TypesInfo.Uses[key], kv.Value)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// classify resolves one object's channel class, following ident-to-ident
+// aliases through the store index (cycle-guarded by seen).
+func (idx chanStores) classify(pass *Pass, obj types.Object, seen map[types.Object]bool) int {
+	if seen == nil {
+		seen = make(map[types.Object]bool)
+	}
+	if obj == nil || seen[obj] {
+		return chanUnknown
+	}
+	seen[obj] = true
+	stores := idx[obj]
+	if len(stores) == 0 {
+		return chanUnknown
+	}
+	cls := -1
+	for _, s := range stores {
+		c := idx.classifyExpr(pass, s, seen)
+		if cls == -1 {
+			cls = c
+		} else if cls != c {
+			return chanUnknown
+		}
+	}
+	return cls
+}
+
+// classifyExpr classifies one stored channel expression.
+func (idx chanStores) classifyExpr(pass *Pass, e ast.Expr, seen map[types.Object]bool) int {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return idx.classifyExpr(pass, x.X, seen)
+	case *ast.CallExpr:
+		id, ok := x.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || !isBuiltin(pass, id) {
+			return chanUnknown
+		}
+		if len(x.Args) < 2 {
+			return chanUnbuffered
+		}
+		tv, ok := pass.TypesInfo.Types[x.Args[1]]
+		if !ok || tv.Value == nil {
+			return chanUnknown
+		}
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v > 0 {
+			return chanBuffered
+		}
+		return chanUnbuffered
+	case *ast.Ident:
+		return idx.classify(pass, objectOf(pass, x), seen)
+	case *ast.SelectorExpr:
+		return idx.classify(pass, pass.TypesInfo.Uses[x.Sel], seen)
+	}
+	return chanUnknown
+}
+
+// chanExprObj resolves the object a channel operand names (local, package
+// var or struct field), or nil for anything fancier.
+func chanExprObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return chanExprObj(pass, x.X)
+	case *ast.Ident:
+		return objectOf(pass, x)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+// stopishChan reports whether a receive from this channel expression is
+// itself a stop path: context.Done(), timer/ticker channels, time.After,
+// or a channel whose name announces a stop/cancel protocol. The check is
+// deliberately name-based — the analyzers cannot see the sender's contract,
+// so the naming convention is the contract.
+func stopishChan(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return stopishChan(x.X)
+	case *ast.CallExpr:
+		switch f := x.Fun.(type) {
+		case *ast.SelectorExpr:
+			return f.Sel.Name == "Done" || f.Sel.Name == "After" || f.Sel.Name == "Tick"
+		case *ast.Ident:
+			return stopishName(f.Name)
+		}
+	case *ast.SelectorExpr:
+		// t.C (timer/ticker) or s.stopCh shaped fields.
+		return x.Sel.Name == "C" || stopishName(x.Sel.Name)
+	case *ast.Ident:
+		return stopishName(x.Name)
+	}
+	return false
+}
+
+// stopishName matches the naming convention for stop/cancel channels.
+func stopishName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range [...]string{"stop", "quit", "done", "cancel", "exit", "shutdown", "kill", "ctx", "close"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectEscapes reports whether a select statement has an escape from
+// blocking forever: a default case, or a receive case from a stop/timeout
+// channel (stopishChan).
+func selectEscapes(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default case
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW && stopishChan(u.X) {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.ARROW && stopishChan(u.X) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeOrigin resolves a call's target like calleeFunc (simclock.go) and
+// maps an instantiated generic method back to its declaration, so
+// call-site fact lookups match the symbol the declaring package exported.
+func calleeOrigin(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestLockOrderFixture(t *testing.T) {
+	analyzertest.Run(t, analysis.LockOrder, "testdata/src/lockorder")
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	analyzertest.Run(t, analysis.GoLeak, "testdata/src/goleak")
+}
+
+func TestChanBlockFixture(t *testing.T) {
+	analyzertest.Run(t, analysis.ChanBlock, "testdata/src/chanblock")
+}
+
+func TestWGCheckFixture(t *testing.T) {
+	analyzertest.Run(t, analysis.WGCheck, "testdata/src/wgcheck")
+}

@@ -1,0 +1,56 @@
+package analysis
+
+// ForwardDataflow solves a forward dataflow problem over a CFG to a fixed
+// point and returns each reachable block's input state. The caller
+// supplies the lattice: entry is the state at function entry, transfer
+// folds one block's Nodes into an output state, join merges states at
+// control-flow merges, and equal detects convergence. join must be
+// monotone over a lattice of finite height (analyzers widen to a "top"
+// value when branch states disagree), and transfer must be pure — it runs
+// once per worklist visit, so reporting belongs in a separate pass over
+// the solved states, not in the transfer function.
+//
+// Unreachable blocks (code after return/panic, the body of `if false`
+// shaped dead branches the builder can prove) are absent from the result
+// map: a reporting pass that skips absent blocks never diagnoses dead
+// code.
+func ForwardDataflow[S any](g *CFG, entry S, transfer func(*Block, S) S, join func(S, S) S, equal func(S, S) bool) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	seen := make([]bool, len(g.Blocks))
+	in[g.Entry] = entry
+	seen[g.Entry.Index] = true
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+
+	// The safety valve bounds a non-converging lattice (an analyzer bug)
+	// instead of hanging the vet gate; converging problems never get near
+	// it.
+	maxVisits := 64*len(g.Blocks) + 1024
+	for visits := 0; len(work) > 0 && visits < maxVisits; visits++ {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			var next S
+			changed := false
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				next = out
+				changed = true
+			} else if merged := join(in[s], out); !equal(merged, in[s]) {
+				next = merged
+				changed = true
+			}
+			if changed {
+				in[s] = next
+				if !queued[s.Index] {
+					queued[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}

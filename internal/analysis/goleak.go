@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags goroutines that can block forever with no stop path — the
+// leak class that accumulates invisible goroutines until a test (or the
+// sharded core) runs out of memory or deadlocks on shutdown.
+//
+// For every `go` statement whose body the pass can see (a function
+// literal, or a same-package function declaration), each blocking channel
+// operation reachable in the body's CFG must have an escape:
+//
+//   - a receive is fine when it ranges over a channel (close-terminated),
+//     or when its source is itself the stop protocol (context.Done(),
+//     timer/ticker channels, time.After, or a stop/quit/done/cancel-named
+//     channel);
+//   - a send is fine when the channel is provably buffered — every store
+//     the package makes to the operand is a make with a positive constant
+//     capacity;
+//   - a select is fine when it has a default case or a stop/timeout
+//     receive case; its individual comm operations are then covered, and a
+//     select without any escape is reported once, at the select.
+//
+// Everything else is reported, suppressible with //f2tree:blocking
+// <reason> — the audited seam for "the counterpart is guaranteed by
+// construction".
+var GoLeak = &Analyzer{
+	Name:    "goleak",
+	Version: 1,
+	Doc:     "report goroutines whose blocking channel operations have no cancellation/stop path",
+	Run:     runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	chans := chanStoreIndex(pass)
+
+	// Declared functions, for resolving `go worker(...)` spawns.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	visited := make(map[*ast.BlockStmt]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if fn := calleeOrigin(pass, g.Call); fn != nil {
+					if fd, ok := decls[fn]; ok {
+						body = fd.Body
+					}
+				}
+			}
+			if body == nil || visited[body] {
+				return true
+			}
+			visited[body] = true
+			checkGoBody(pass, chans, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoBody reports every reachable blocking operation in one spawned
+// body that has no stop path. The body may live in a different file than
+// the go statement (a spawned declared function), so the suppression file
+// is resolved from the body's own position.
+func checkGoBody(pass *Pass, chans chanStores, body *ast.BlockStmt) {
+	file := pass.fileFor(body.Pos())
+	if file == nil {
+		return
+	}
+	g := BuildCFG(body)
+	reach := reachableNodes(g)
+
+	// Select statements are decomposed in the CFG (only their comm
+	// statements appear as nodes), so collect them syntactically: the comm
+	// nodes double as the reachability witness and as the set of operations
+	// covered by select-level reporting.
+	commOf := make(map[ast.Node]*ast.SelectStmt)
+	var selects []*ast.SelectStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		selects = append(selects, sel)
+		for _, c := range sel.Body.List {
+			if cc := c.(*ast.CommClause); cc.Comm != nil {
+				commOf[cc.Comm] = sel
+			}
+		}
+		return true
+	})
+
+	for _, sel := range selects {
+		if selectEscapes(sel) {
+			continue
+		}
+		reachable := len(sel.Body.List) == 0 // `select {}` leaves no witness nodes
+		for _, c := range sel.Body.List {
+			if cc := c.(*ast.CommClause); cc.Comm != nil && reach[cc.Comm] {
+				reachable = true
+			}
+		}
+		if reachable {
+			pass.ReportSuppressible(file, sel.Select, VerbBlocking,
+				"goroutine selects with no default, timeout or stop case: every case can block forever once the counterparts are gone; add a stop/cancel case or annotate //f2tree:blocking <reason>")
+		}
+	}
+
+	seen := make(map[token.Pos]bool) // range operands appear in two nodes
+	for _, b := range g.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if commOf[n] != nil {
+				continue // covered by the select-level check
+			}
+			nodeInspect(n, false, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.SendStmt:
+					if seen[x.Pos()] {
+						return true
+					}
+					seen[x.Pos()] = true
+					if chans.classify(pass, chanExprObj(pass, x.Chan), nil) != chanBuffered {
+						pass.ReportSuppressible(file, x.Pos(), VerbBlocking,
+							"goroutine sends on %s, which is not provably buffered and has no stop path: the send blocks forever if the receiver is gone; buffer the channel, select on a stop case, or annotate //f2tree:blocking <reason>",
+							exprLabel(x.Chan))
+					}
+				case *ast.UnaryExpr:
+					if x.Op != token.ARROW || stopishChan(x.X) || seen[x.OpPos] {
+						return true
+					}
+					seen[x.OpPos] = true
+					pass.ReportSuppressible(file, x.OpPos, VerbBlocking,
+						"goroutine receives from %s with no stop path: the receive blocks forever if no sender remains; range over a closed channel, select on a stop/cancel case, or annotate //f2tree:blocking <reason>",
+						exprLabel(x.X))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// exprLabel renders a short source-like label for a channel operand.
+func exprLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := rootIdent(x); root != nil {
+			return root.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return exprLabel(x.X)
+	case *ast.CallExpr:
+		return exprLabel(x.Fun) + "()"
+	}
+	return "a channel"
+}

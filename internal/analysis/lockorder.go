@@ -1,0 +1,455 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the whole-program lock-acquisition-order graph and
+// reports every cycle as a potential AB-BA deadlock.
+//
+// Locks are identified by class, not instance: a struct field guarding its
+// struct ("pkg.(Type).field") or a package-level mutex ("pkg.var").
+// Function-local mutexes have no cross-call identity and are ignored. A
+// may-hold set is propagated through each function's CFG (union join at
+// merges, defers excluded — a deferred Unlock releases at exit, not where
+// it is written), and every acquisition of class B with class A in the
+// held set records the edge A→B. Calls are edges too: each function
+// exports an "acquires:<class>" fact for every class it may take, closed
+// over the same-package call graph and imported callee facts, so holding A
+// across a call into a function that may take B records A→B even when the
+// two acquisitions are packages apart.
+//
+// Edges are exported as "lockorder:<to>" facts keyed by the holding class,
+// and the pass merges its own edges with every imported edge before
+// searching for cycles — the mechanism that catches an AB-BA inversion
+// split across two packages, which per-package analysis provably cannot
+// see (neither side has both edges). A cycle is reported once per locally
+// added edge that participates in it, anchored at that acquisition or call
+// site; the escape hatch is //f2tree:lockorder <reason>.
+var LockOrder = &Analyzer{
+	Name:    "lockorder",
+	Version: 1,
+	Doc:     "report cycles in the interprocedural lock-acquisition-order graph (potential AB-BA deadlocks)",
+	Run:     runLockOrder,
+}
+
+// Lock operations on sync.Mutex/RWMutex (and sync.Locker).
+const (
+	lockOpNone = iota
+	lockOpLock
+	lockOpUnlock
+)
+
+// lockCallClass classifies a call as a lock/unlock of a lock class, or
+// (lockOpNone) as not a lock operation. RLock counts as Lock: a read lock
+// taken in inverted order still deadlocks against a writer.
+func lockCallClass(pass *Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = lockOpLock
+	case "Unlock", "RUnlock":
+		op = lockOpUnlock
+	default:
+		return "", lockOpNone
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockOpNone
+	}
+	// A method promoted through embedded fields: the selection's index path
+	// names the field hops from the receiver down to the mutex.
+	if s := pass.TypesInfo.Selections[sel]; s != nil {
+		if idx := s.Index(); len(idx) > 1 {
+			return classFromIndexPath(s.Recv(), idx[:len(idx)-1]), op
+		}
+	}
+	return lockExprClass(pass, sel.X), op
+}
+
+// classFromIndexPath walks a field-index path from a receiver type down to
+// the lock field and renders the class of that field's immediate owner.
+func classFromIndexPath(t types.Type, idx []int) string {
+	for i, fi := range idx {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		var owner *types.Named
+		if n, ok := t.(*types.Named); ok {
+			owner = n
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || fi >= st.NumFields() {
+			return ""
+		}
+		f := st.Field(fi)
+		if i == len(idx)-1 {
+			return fieldLockClass(owner, f)
+		}
+		t = f.Type()
+	}
+	return ""
+}
+
+// fieldLockClass renders "pkg.(Owner).field"; anonymous owners have no
+// stable class.
+func fieldLockClass(owner *types.Named, f *types.Var) string {
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s.(%s).%s", owner.Obj().Pkg().Path(), owner.Obj().Name(), f.Name())
+}
+
+// lockExprClass classifies the mutex-valued receiver expression of a
+// direct Lock/Unlock call.
+func lockExprClass(pass *Pass, x ast.Expr) string {
+	switch e := x.(type) {
+	case *ast.ParenExpr:
+		return lockExprClass(pass, e.X)
+	case *ast.StarExpr:
+		return lockExprClass(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockExprClass(pass, e.X)
+		}
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.IsField() {
+			if s := pass.TypesInfo.Selections[e]; s != nil {
+				return classFromIndexPath(s.Recv(), s.Index())
+			}
+			return ""
+		}
+		// Package-qualified variable: pkg.Mu.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// lockEdge is one acquisition-order edge with its first local witness.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	file     *ast.File
+}
+
+func runLockOrder(pass *Pass) error {
+	units := funcUnits(pass)
+
+	// Phase 1: per-declared-function direct acquisitions and same-package
+	// callees, from reachable code only.
+	type summary struct {
+		acquires map[string]bool
+		callees  []*types.Func
+	}
+	sums := make(map[*types.Func]*summary)
+	cfgs := make([]*CFG, len(units))
+	for i, u := range units {
+		g := BuildCFG(u.body)
+		cfgs[i] = g
+		if u.fn == nil {
+			continue // closures do not contribute to their encloser's summary
+		}
+		sum := &summary{acquires: make(map[string]bool)}
+		sums[u.fn] = sum
+		for _, b := range g.Blocks {
+			if !g.Reachable(b) {
+				continue
+			}
+			for _, n := range b.Nodes {
+				nodeInspect(n, true, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if cls, op := lockCallClass(pass, call); op == lockOpLock && cls != "" {
+						sum.acquires[cls] = true
+						return true
+					}
+					if fn := calleeOrigin(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() != "sync" {
+						if fn.Pkg() == pass.Pkg {
+							sum.callees = append(sum.callees, fn)
+						} else {
+							for _, cls := range pass.importedPrefixFacts(SymbolName(fn), FactAcquiresPrefix) {
+								sum.acquires[cls] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Phase 2: close the acquires sets over the same-package call graph.
+	for changed := true; changed; {
+		changed = false
+		//f2tree:unordered fixpoint result is iteration-order independent
+		for _, sum := range sums {
+			for _, callee := range sum.callees {
+				csum, ok := sums[callee]
+				if !ok {
+					continue
+				}
+				//f2tree:unordered set union inside an order-independent fixpoint
+				for cls := range csum.acquires {
+					if !sum.acquires[cls] {
+						sum.acquires[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	acquiresOf := func(fn *types.Func) []string {
+		if sum, ok := sums[fn]; ok {
+			out := make([]string, 0, len(sum.acquires))
+			//f2tree:unordered acquisition list is sorted below
+			for cls := range sum.acquires {
+				out = append(out, cls)
+			}
+			sort.Strings(out)
+			return out
+		}
+		return pass.importedPrefixFacts(SymbolName(fn), FactAcquiresPrefix)
+	}
+
+	// Export the closed summaries so callers in downstream packages see
+	// them. Fact sets sort on serialization, so map order is immaterial.
+	//f2tree:unordered fact set is sorted on export
+	for fn, sum := range sums {
+		//f2tree:unordered fact set is sorted on export
+		for cls := range sum.acquires {
+			pass.exportFact(fn, FactAcquiresPrefix+cls)
+		}
+	}
+
+	// Phase 3: may-hold dataflow per unit, collecting local edges.
+	edges := make(map[string]*lockEdge) // "from\x00to" → first witness
+	addEdge := func(from, to string, pos token.Pos, file *ast.File) {
+		key := from + "\x00" + to
+		if e, ok := edges[key]; !ok || pos < e.pos {
+			edges[key] = &lockEdge{from: from, to: to, pos: pos, file: file}
+		}
+	}
+	for i, u := range units {
+		g := cfgs[i]
+		transfer := func(b *Block, in []string) []string {
+			held := in
+			for _, n := range b.Nodes {
+				nodeInspect(n, true, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch cls, op := lockCallClass(pass, call); op {
+					case lockOpLock:
+						if cls != "" {
+							held = heldInsert(held, cls)
+						}
+					case lockOpUnlock:
+						if cls != "" {
+							held = heldRemove(held, cls)
+						}
+					}
+					return true
+				})
+			}
+			return held
+		}
+		join := func(a, b []string) []string { return heldUnion(a, b) }
+		equal := func(a, b []string) bool { return heldEqual(a, b) }
+		in := ForwardDataflow(g, []string(nil), transfer, join, equal)
+
+		for _, b := range g.Blocks {
+			held, ok := in[b]
+			if !ok {
+				continue // unreachable
+			}
+			for _, n := range b.Nodes {
+				nodeInspect(n, true, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					cls, op := lockCallClass(pass, call)
+					switch op {
+					case lockOpLock:
+						if cls != "" {
+							for _, h := range held {
+								addEdge(h, cls, call.Pos(), u.file)
+							}
+							held = heldInsert(held, cls)
+						}
+						return true
+					case lockOpUnlock:
+						if cls != "" {
+							held = heldRemove(held, cls)
+						}
+						return true
+					}
+					if len(held) == 0 {
+						return true
+					}
+					if fn := calleeOrigin(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() != "sync" {
+						for _, to := range acquiresOf(fn) {
+							for _, h := range held {
+								addEdge(h, to, call.Pos(), u.file)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Export local edges and merge them with every imported edge into the
+	// global acquisition-order graph.
+	adj := make(map[string][]string)
+	addAdj := func(from, to string) {
+		for _, t := range adj[from] {
+			if t == to {
+				return
+			}
+		}
+		adj[from] = append(adj[from], to)
+	}
+	if pass.ImportedFacts != nil {
+		syms := make([]string, 0, len(pass.ImportedFacts))
+		//f2tree:unordered symbol list is sorted below
+		for sym := range pass.ImportedFacts {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		for _, sym := range syms {
+			for _, to := range pass.importedPrefixFacts(sym, FactLockEdgePrefix) {
+				addAdj(sym, to)
+			}
+		}
+	}
+	local := make([]*lockEdge, 0, len(edges))
+	//f2tree:unordered edge list is sorted below
+	for _, e := range edges {
+		local = append(local, e)
+	}
+	sort.Slice(local, func(i, j int) bool {
+		if local[i].from != local[j].from {
+			return local[i].from < local[j].from
+		}
+		return local[i].to < local[j].to
+	})
+	for _, e := range local {
+		pass.exportSymFact(e.from, FactLockEdgePrefix+e.to)
+		addAdj(e.from, e.to)
+	}
+	//f2tree:unordered in-place sort of each adjacency list
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+
+	// Phase 4: report each local edge that participates in a cycle.
+	for _, e := range local {
+		if e.from == e.to {
+			pass.ReportSuppressible(e.file, e.pos, VerbLockOrder,
+				"acquiring %s while already holding it: guaranteed self-deadlock (sync mutexes are not reentrant); restructure the critical section or annotate //f2tree:lockorder <reason>",
+				e.from)
+			continue
+		}
+		if path := lockPath(adj, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			pass.ReportSuppressible(e.file, e.pos, VerbLockOrder,
+				"acquiring %s while holding %s completes a lock-order cycle %s: potential AB-BA deadlock; acquire locks in one global order or annotate //f2tree:lockorder <reason>",
+				e.to, e.from, strings.Join(cycle, " → "))
+		}
+	}
+	return nil
+}
+
+// lockPath finds a path from → to in the order graph (DFS over the sorted
+// adjacency, so the reported cycle is deterministic), or nil.
+func lockPath(adj map[string][]string, from, to string) []string {
+	seen := map[string]bool{from: true}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == to {
+			return path
+		}
+		for _, next := range adj[cur] {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if p := dfs(next, append(path, next)); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return dfs(from, []string{from})
+}
+
+// heldInsert returns the sorted held set with cls added.
+func heldInsert(held []string, cls string) []string {
+	i := sort.SearchStrings(held, cls)
+	if i < len(held) && held[i] == cls {
+		return held
+	}
+	out := make([]string, 0, len(held)+1)
+	out = append(out, held[:i]...)
+	out = append(out, cls)
+	return append(out, held[i:]...)
+}
+
+// heldRemove returns the held set with cls removed.
+func heldRemove(held []string, cls string) []string {
+	i := sort.SearchStrings(held, cls)
+	if i >= len(held) || held[i] != cls {
+		return held
+	}
+	out := make([]string, 0, len(held)-1)
+	out = append(out, held[:i]...)
+	return append(out, held[i+1:]...)
+}
+
+// heldUnion merges two sorted held sets (may-hold join).
+func heldUnion(a, b []string) []string {
+	out := a
+	for _, cls := range b {
+		out = heldInsert(out, cls)
+	}
+	return out
+}
+
+// heldEqual compares two sorted held sets.
+func heldEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

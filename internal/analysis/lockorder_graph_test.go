@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadLockgraph loads the two-package fixture module under
+// testdata/lockgraph: package state acquires MuA then MuB; package app
+// acquires MuB then MuA, closing an AB-BA cycle whose first half is
+// visible only through state's exported lockorder facts.
+func loadLockgraph(t *testing.T) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load("testdata/lockgraph", "./...")
+	if err != nil {
+		t.Fatalf("loading lockgraph fixture module: %v", err)
+	}
+	if len(pkgs) != 2 {
+		paths := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			paths[i] = p.ImportPath
+		}
+		t.Fatalf("loaded %v, want exactly [lockgraph/app lockgraph/state]", paths)
+	}
+	return pkgs
+}
+
+// TestLockOrderCrossPackageCycle is the acceptance test for the
+// interprocedural half of the lockorder analyzer: the graph run must
+// flag app.Swap's MuB -> MuA edge as completing a cycle against state's
+// exported MuA -> MuB edge, while a per-package run on app alone —
+// which sees only one direction — provably reports nothing.
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	pkgs := loadLockgraph(t)
+	results, err := analysis.RunGraph(pkgs, []*analysis.Analyzer{analysis.LockOrder}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatalf("RunGraph: %v", err)
+	}
+
+	var appFindings, stateFindings []string
+	for _, r := range results {
+		for _, f := range r.Findings {
+			switch r.ImportPath {
+			case "lockgraph/app":
+				appFindings = append(appFindings, f.Message)
+			case "lockgraph/state":
+				stateFindings = append(stateFindings, f.Message)
+			}
+		}
+	}
+	cycleSeen := false
+	for _, msg := range appFindings {
+		if strings.Contains(msg, "lock-order cycle") &&
+			strings.Contains(msg, "lockgraph/state.MuA") &&
+			strings.Contains(msg, "lockgraph/state.MuB") {
+			cycleSeen = true
+		}
+	}
+	if !cycleSeen {
+		t.Errorf("graph run: no lock-order cycle finding naming MuA and MuB in app; got %v", appFindings)
+	}
+	// state acquires in the canonical order; the cycle must be pinned on
+	// the inverting side only.
+	if len(stateFindings) != 0 {
+		t.Errorf("graph run: unexpected findings in state (the canonical-order side): %v", stateFindings)
+	}
+
+	// Per-package mode — no imported facts — sees only app's own
+	// MuB -> MuA edge: one direction is not a cycle.
+	for _, p := range pkgs {
+		if p.ImportPath != "lockgraph/app" {
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(analysis.LockOrder, p)
+		if err != nil {
+			t.Fatalf("RunAnalyzer(lockorder, app): %v", err)
+		}
+		if len(diags) != 0 {
+			msgs := make([]string, len(diags))
+			for i, d := range diags {
+				msgs[i] = d.Message
+			}
+			t.Errorf("per-package lockorder run on app found %v; the AB-BA cycle must only be catchable interprocedurally", msgs)
+		}
+	}
+}
+
+// TestLockOrderFactExports pins the lock-order fact inventory: state
+// exports both the per-function acquires set and the MuA -> MuB edge
+// keyed by lock class, and app exports the inverted edge.
+func TestLockOrderFactExports(t *testing.T) {
+	pkgs := loadLockgraph(t)
+	results, err := analysis.RunGraph(pkgs, []*analysis.Analyzer{analysis.LockOrder}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatalf("RunGraph: %v", err)
+	}
+	facts := make(map[string]bool)
+	for _, r := range results {
+		for _, f := range r.Facts {
+			facts[f.Sym+" "+f.Kind] = true
+		}
+	}
+	for _, want := range []string{
+		"lockgraph/state.LockPair " + analysis.FactAcquiresPrefix + "lockgraph/state.MuA",
+		"lockgraph/state.LockPair " + analysis.FactAcquiresPrefix + "lockgraph/state.MuB",
+		"lockgraph/state.MuA " + analysis.FactLockEdgePrefix + "lockgraph/state.MuB",
+		"lockgraph/app.Swap " + analysis.FactAcquiresPrefix + "lockgraph/state.MuA",
+		"lockgraph/app.Swap " + analysis.FactAcquiresPrefix + "lockgraph/state.MuB",
+		"lockgraph/state.MuB " + analysis.FactLockEdgePrefix + "lockgraph/state.MuA",
+	} {
+		if !facts[want] {
+			t.Errorf("missing exported fact %q", want)
+		}
+	}
+}

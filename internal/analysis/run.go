@@ -11,9 +11,15 @@ import (
 )
 
 // cacheSchema versions the driver's result-cache entries. Bump it whenever
-// analyzer semantics, the Finding/Fact shapes, or the key derivation
-// change, so stale entries from an older binary can never be replayed.
-const cacheSchema = "f2tree-vet/2"
+// the Finding/Fact shapes or the key derivation change, so stale entries
+// from an older binary can never be replayed. Per-analyzer logic changes
+// are covered more surgically by AnalyzersHash (each Analyzer.Version is
+// part of the key), so a single-analyzer bump does not have to invalidate
+// results the other analyzers could still share — but since every analyzer
+// runs in one pass per package here, either mechanism invalidates the
+// whole entry; the split exists so the salt lives next to the logic it
+// versions.
+const cacheSchema = "f2tree-vet/3"
 
 // Finding is one position-resolved diagnostic — the serializable form the
 // driver prints, emits as JSON and stores in the result cache.
@@ -256,6 +262,11 @@ func analyzePackage(pkg *Package, analyzers []*Analyzer, opt RunOptions, inScope
 					exported.Add(sym, kind)
 				}
 			},
+			ExportSymFact: func(sym, kind string) {
+				if sym != "" {
+					exported.Add(sym, kind)
+				}
+			},
 			Report: func(d Diagnostic) {
 				if inScope {
 					diags = append(diags, d)
@@ -288,21 +299,30 @@ func analyzePackage(pkg *Package, analyzers []*Analyzer, opt RunOptions, inScope
 	}, nil
 }
 
-// resultCacheKey derives the cache key for one package's run: everything
-// the result depends on is hashed — source bytes (via the package content
-// hash), the analyzer set, the mode flags, and the facts of every
-// transitive dependency, so an upstream annotation change invalidates
-// every downstream entry.
-func resultCacheKey(pkg *Package, analyzers []*Analyzer, opt RunOptions, inScope bool, depFacts FactSet) string {
+// AnalyzersHash renders the analyzer set as a stable "name@version" list —
+// the cache-key component that ties cached results to both which analyzers
+// ran and which revision of their logic ran. Bumping one Analyzer.Version
+// changes this string and with it every result-cache key, so findings
+// computed by the old logic are never served as if the new logic had run.
+func AnalyzersHash(analyzers []*Analyzer) string {
 	names := make([]string, len(analyzers))
 	for i, a := range analyzers {
-		names[i] = a.Name
+		names[i] = fmt.Sprintf("%s@%d", a.Name, a.Version)
 	}
+	return strings.Join(names, ",")
+}
+
+// resultCacheKey derives the cache key for one package's run: everything
+// the result depends on is hashed — source bytes (via the package content
+// hash), the analyzer set with per-analyzer versions (AnalyzersHash), the
+// mode flags, and the facts of every transitive dependency, so an upstream
+// annotation change invalidates every downstream entry.
+func resultCacheKey(pkg *Package, analyzers []*Analyzer, opt RunOptions, inScope bool, depFacts FactSet) string {
 	h := newContentHash()
 	h.addString("schema", cacheSchema)
 	h.addString("package", pkg.ImportPath)
 	h.addString("content", pkg.ContentHash)
-	h.addString("analyzers", strings.Join(names, ","))
+	h.addString("analyzers", AnalyzersHash(analyzers))
 	h.addString("mode", fmt.Sprintf("keep=%t scope=%t", opt.KeepSuppressed, inScope))
 	for _, f := range depFacts.Sorted() {
 		h.addString("fact", f.Sym+"\x00"+f.Kind)

@@ -1,0 +1,17 @@
+// Package app is the downstream half of the cross-package lock-order
+// fixture. Swap acquires the same two locks in the opposite order to
+// state.LockPair, closing an AB-BA cycle that only the graph run — with
+// state's exported lockorder facts in hand — can see. A per-package
+// analysis of app alone observes one edge (B -> A) and no cycle.
+package app
+
+import "lockgraph/state"
+
+// Swap locks B then A: locally consistent, globally a deadlock with any
+// concurrent LockPair.
+func Swap() {
+	state.MuB.Lock()
+	state.MuA.Lock()
+	state.MuA.Unlock()
+	state.MuB.Unlock()
+}

@@ -1,0 +1,3 @@
+module lockgraph
+
+go 1.22

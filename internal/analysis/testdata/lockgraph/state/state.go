@@ -1,0 +1,22 @@
+// Package state is the upstream half of the cross-package lock-order
+// fixture: it establishes the MuA -> MuB acquisition order. The order
+// travels to the app package only as exported lockorder facts — a
+// per-package analysis of app never sees this file.
+package state
+
+import "sync"
+
+// MuA and MuB are the two package-level locks of the seeded AB-BA cycle.
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// LockPair acquires A then B, exporting the lockgraph/state.MuA ->
+// lockgraph/state.MuB edge.
+func LockPair() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}

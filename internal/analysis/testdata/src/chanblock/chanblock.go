@@ -1,0 +1,85 @@
+// Package chanblock is the fixture for the blocking-send analyzer: a send
+// on a channel that is unbuffered by construction must sit in a select
+// with an escape (default/stop/timeout case) or carry a //f2tree:blocking
+// seam.
+package chanblock
+
+// Positive: bare send on an unbuffered-by-construction channel.
+func bareSend() {
+	ch := make(chan int)
+	go consume(ch)
+	ch <- 1 // want `unbuffered-by-construction`
+}
+
+func consume(ch chan int) {
+	<-ch
+}
+
+// Negative: buffered channels absorb the send.
+func bufferedSend() {
+	ch := make(chan int, 4)
+	ch <- 1
+}
+
+// Negative: a non-constant capacity is not provably unbuffered.
+func unknownCap(n int) {
+	ch := make(chan int, n)
+	ch <- 1
+}
+
+// Negative: a send inside a select with a default case cannot block.
+func selectDefault() {
+	ch := make(chan int)
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// Positive: a select without an escape does not protect the send.
+func selectNoEscape(other chan int) {
+	ch := make(chan int)
+	go consume(ch)
+	select {
+	case ch <- 1: // want `unbuffered-by-construction`
+	case <-other:
+	}
+}
+
+// Positive: a struct field aliased to an unbuffered make through a keyed
+// composite literal.
+type unbufBox struct {
+	c chan int
+}
+
+func fieldSend() {
+	b := unbufBox{c: make(chan int)}
+	go consume(b.c)
+	b.c <- 1 // want `unbuffered-by-construction`
+}
+
+// Negative: the buffered twin (a distinct type, so the field object's
+// stores stay unambiguous).
+type bufBox struct {
+	c chan int
+}
+
+func fieldBuffered() {
+	b := bufBox{c: make(chan int, 1)}
+	b.c <- 1
+}
+
+// Negative: dead code is not diagnosed.
+func deadSend() {
+	ch := make(chan int)
+	return
+	ch <- 1
+}
+
+// Suppressed: a documented rendezvous.
+func suppressedHandoff() {
+	ch := make(chan int)
+	go consume(ch)
+	//f2tree:blocking fixture: consumer started above is guaranteed to reach the rendezvous
+	ch <- 1
+}

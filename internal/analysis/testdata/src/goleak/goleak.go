@@ -1,0 +1,124 @@
+// Package goleak is the fixture for the goroutine-leak analyzer: blocking
+// channel operations inside spawned goroutines must have a stop path
+// (buffered channel, close-terminated range, stop/cancel select case,
+// timeout) or a //f2tree:blocking seam.
+package goleak
+
+import (
+	"context"
+	"time"
+)
+
+// Positive: a send on an unbuffered channel with no receiver guarantee.
+func leakySend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `not provably buffered`
+	}()
+	_ = ch
+}
+
+// Negative: every store to the channel is a buffered make.
+func bufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// Positive: a bare receive with no stop path blocks forever once the
+// sender is gone.
+func leakyRecv(ch chan int) {
+	go func() {
+		<-ch // want `no stop path`
+	}()
+}
+
+// Negative: receiving from a stop-named channel is itself the stop path.
+func stopRecv(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// Positive: a select where every case can block and none is a stop case.
+func selectNoEscape(a, b chan int) {
+	go func() {
+		select { // want `no default, timeout or stop case`
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// Negative: a context-cancellation case is an escape.
+func selectWithStop(ctx context.Context, a chan int) {
+	go func() {
+		for {
+			select {
+			case <-a:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Negative: a timeout case is an escape.
+func selectWithTimeout(a chan int) {
+	go func() {
+		select {
+		case <-a:
+		case <-time.After(time.Second):
+		}
+	}()
+}
+
+// Negative: a default case is an escape.
+func selectWithDefault(a chan int) {
+	go func() {
+		select {
+		case v := <-a:
+			_ = v
+		default:
+		}
+	}()
+}
+
+// Negative: range over a channel terminates when the sender closes it.
+func rangeRecv(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Positive: spawning a named same-package function checks its body; the
+// finding lands in the body, not at the go statement.
+func spawnNamed(ch chan int) {
+	go worker(ch)
+}
+
+func worker(ch chan int) {
+	<-ch // want `no stop path`
+}
+
+// Negative: dead code after return is not diagnosed.
+func deadCode(ch chan int) {
+	go func() {
+		return
+		ch <- 1
+	}()
+}
+
+// Suppressed: the //f2tree:blocking seam documents a receiver guaranteed
+// by construction.
+func suppressedSend() {
+	ch := make(chan int)
+	go func() {
+		//f2tree:blocking fixture: the receiver is started first and outlives this send by construction
+		ch <- 1
+	}()
+	<-ch
+}

@@ -1,0 +1,119 @@
+// Package lockorder is the fixture for the lock-acquisition-order
+// analyzer: consistent orders stay silent, inverted orders are cycles,
+// reentrant acquisition is a self-deadlock, and the //f2tree:lockorder
+// directive suppresses a documented inversion.
+package lockorder
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// abOrder establishes the edge muA → muB. Because baOrder inverts it, the
+// edge itself participates in the cycle and is reported here too.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock-order cycle`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baOrder closes the cycle: muB held while taking muA.
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock-order cycle`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// guarded exercises field classes and reentrancy.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) reenter() {
+	g.mu.Lock()
+	g.mu.Lock() // want `self-deadlock`
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// The call-mediated inversion: withLock holds its field mutex across a
+// call that takes muC (an acquires: fact edge), and inverse takes them
+// directly in the opposite order.
+var muC sync.Mutex
+
+type holder struct{ mu sync.Mutex }
+
+func (h *holder) withLock() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	lockC() // want `lock-order cycle`
+}
+
+func lockC() {
+	muC.Lock()
+	muC.Unlock()
+}
+
+func inverse(h *holder) {
+	muC.Lock()
+	defer muC.Unlock()
+	h.mu.Lock() // want `lock-order cycle`
+	h.mu.Unlock()
+}
+
+// Negative: nested acquisition in one consistent order everywhere.
+var muD, muE sync.Mutex
+
+func nestedConsistent1() {
+	muD.Lock()
+	defer muD.Unlock()
+	muE.Lock()
+	defer muE.Unlock()
+}
+
+func nestedConsistent2() {
+	muD.Lock()
+	muE.Lock()
+	muE.Unlock()
+	muD.Unlock()
+}
+
+// Negative: function-local mutexes have no cross-call identity.
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	muA.Lock()
+	muA.Unlock()
+	mu.Unlock()
+}
+
+// Negative: sequential acquisition (release before take) orders nothing.
+func sequential() {
+	muB.Lock()
+	muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+// Suppressed: a documented inversion of muF/muG. The forward edge in
+// fgOrder still participates in the cycle and is reported there — partial
+// suppression is deliberate, so the seam stays visible on one side.
+var muF, muG sync.Mutex
+
+func fgOrder() {
+	muF.Lock()
+	muG.Lock() // want `lock-order cycle`
+	muG.Unlock()
+	muF.Unlock()
+}
+
+func gfOrderSuppressed() {
+	muG.Lock()
+	//f2tree:lockorder fixture: inversion is documented and guarded by a trylock protocol upstream
+	muF.Lock()
+	muF.Unlock()
+	muG.Unlock()
+}

@@ -1,0 +1,102 @@
+// Package wgcheck is the fixture for the WaitGroup analyzer: Add/Done
+// balance along CFG paths, Add-after-Wait reuse, negative counters and
+// copy-by-value.
+package wgcheck
+
+import "sync"
+
+// Positive: Wait with a pending Add and no goroutine to Done it.
+func deadlocks() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want `blocks forever`
+}
+
+// Positive: a deferred Done runs after Wait, so it cannot save it.
+func deferredDoneDeadlock() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Done()
+	wg.Wait() // want `blocks forever`
+}
+
+// Negative: the canonical fan-out/fan-in: per-iteration Add matched by a
+// spawned closure's Done converges to zero at the loop exit.
+func fanOut(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Negative: taking the address hands the balance to unseen code, so
+// tracking stops without a finding.
+func delegated(register func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	register(&wg)
+	wg.Wait()
+}
+
+// Positive: a second Done on a drained counter panics.
+func doubleDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want `below zero`
+}
+
+// Positive: reusing the group after Wait races with it.
+func reuse() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+	wg.Add(1) // want `Add after wg.Wait`
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Positive: assigning the group copies it.
+func copied() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	snapshot := wg // want `copied by value`
+	snapshot.Wait()
+	wg.Wait()
+}
+
+// Positive: a value parameter is a copy at every call site.
+func valueParam(wg sync.WaitGroup) { // want `passed by value`
+	wg.Wait()
+}
+
+// Negative: a method value hands &wg to unseen code — tracking stops.
+func methodValue(start func(done func())) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	start(wg.Done)
+	wg.Wait()
+}
+
+// Suppressed: a Done inside a plain (non-go) closure is outside the
+// credit model; the //f2tree:blocking seam documents the balance.
+func suppressedExternal(run func(func())) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	cleanup := func() { wg.Done() }
+	run(cleanup)
+	//f2tree:blocking fixture: run invokes cleanup exactly once before returning
+	wg.Wait()
+}

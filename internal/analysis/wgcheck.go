@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// WGCheck verifies sync.WaitGroup discipline along all CFG paths for every
+// WaitGroup declared as a function local (the only case where the pass
+// sees the whole lifecycle):
+//
+//   - a Wait reached with a positive Add/Done balance blocks forever —
+//     only goroutines started as `go func() { ... wg.Done() ... }` are
+//     credited, since a closure the pass can see is the only Done it can
+//     trust;
+//   - a Done that drives the counter negative panics at runtime;
+//   - an Add after a Wait on the same group races with it (the documented
+//     WaitGroup reuse hazard);
+//   - a WaitGroup passed or assigned by value is a broken copy — Add/Done
+//     on the copy never release the original's Wait — reported for value
+//     parameters too.
+//
+// Taking the group's address (passing &wg somewhere) hands the balance to
+// code the pass cannot see, so tracking stops (no finding) from that path
+// on. The audited escape hatch for externally balanced groups is
+// //f2tree:blocking <reason>.
+var WGCheck = &Analyzer{
+	Name:    "wgcheck",
+	Version: 1,
+	Doc:     "verify sync.WaitGroup Add/Done balance on all CFG paths, Add-after-Wait, and copy-by-value",
+	Run:     runWGCheck,
+}
+
+// wgState is the dataflow lattice for one WaitGroup: an exact pending
+// count, or top once the balance is unknowable (aliasing, non-constant
+// Add, disagreeing paths).
+type wgState struct {
+	delta  int
+	top    bool
+	waited bool
+}
+
+func wgJoin(a, b wgState) wgState {
+	out := wgState{waited: a.waited || b.waited}
+	if a.top || b.top || a.delta != b.delta {
+		out.top = true
+	} else {
+		out.delta = a.delta
+	}
+	return out
+}
+
+func runWGCheck(pass *Pass) error {
+	// Value-typed parameters: a copy at every call site, by signature.
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				ft = x.Type
+			case *ast.FuncLit:
+				ft = x.Type
+			default:
+				return true
+			}
+			for _, field := range ft.Params.List {
+				if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isWaitGroupType(t) {
+					pass.ReportSuppressible(f, field.Pos(), VerbBlocking,
+						"sync.WaitGroup parameter passed by value: Add/Done on the copy never release the caller's Wait; take *sync.WaitGroup")
+				}
+			}
+			return true
+		})
+	}
+
+	for _, u := range funcUnits(pass) {
+		for _, obj := range localWaitGroups(pass, u.body) {
+			checkWaitGroup(pass, u, obj)
+		}
+	}
+	return nil
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup (by value).
+func isWaitGroupType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// localWaitGroups finds the value-typed sync.WaitGroup variables declared
+// directly in this body (not in nested literals), in source order.
+func localWaitGroups(pass *Pass, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ValueSpec:
+			for _, name := range x.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && isWaitGroupType(obj.Type()) {
+					out = append(out, obj)
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, l := range x.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil && isWaitGroupType(obj.Type()) {
+							out = append(out, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// wgReport receives each defect found while folding a node.
+type wgReport func(pos token.Pos, format string, args ...any)
+
+// checkWaitGroup solves the balance dataflow for one WaitGroup and
+// re-folds the solution to report defects at their operations.
+func checkWaitGroup(pass *Pass, u funcUnit, obj types.Object) {
+	g := BuildCFG(u.body)
+	transfer := func(b *Block, in wgState) wgState {
+		st := in
+		for _, n := range b.Nodes {
+			st = wgFold(pass, obj, n, st, nil)
+		}
+		return st
+	}
+	in := ForwardDataflow(g, wgState{}, transfer, wgJoin, func(a, b wgState) bool { return a == b })
+	for _, b := range g.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			st = wgFold(pass, obj, n, st, func(pos token.Pos, format string, args ...any) {
+				pass.ReportSuppressible(u.file, pos, VerbBlocking, format, args...)
+			})
+		}
+	}
+}
+
+// wgFold applies one CFG node's effect on a WaitGroup's state. With a
+// non-nil report callback it also diagnoses: Wait with pending Adds,
+// Done below zero, Add after Wait, and copies by value. Deferred
+// statements are skipped (they run at function exit: a deferred Done does
+// not save a Wait the flow reaches first), and nested function literals
+// are skipped except for `go func(){...}` bodies, which credit their Done.
+func wgFold(pass *Pass, obj types.Object, node ast.Node, st wgState, report wgReport) wgState {
+	benign := make(map[*ast.Ident]bool)
+	callFun := make(map[*ast.SelectorExpr]bool)
+	// Pre-pass: selector receivers (wg.Add(...), the method value wg.Done)
+	// and &wg operands are not by-value copies of the group; remember which
+	// selectors are in call position so method values can be told apart.
+	nodeInspect(node, true, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				callFun[sel] = true
+			}
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				benign[id] = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					benign[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	nodeInspect(node, true, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.GoStmt:
+			// Credit the spawned closure's Done; anything subtler (Add in
+			// the goroutine, a named function taking &wg through the args,
+			// walked below) degrades to top.
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				dones, adds := closureWGOps(pass, obj, lit.Body)
+				if adds > 0 {
+					st.top = true
+				} else if dones > 0 && !st.top {
+					st.delta--
+				}
+				for _, arg := range x.Call.Args {
+					st = wgFoldExprUses(pass, obj, arg, benign, st, report)
+				}
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || objectOf(pass, id) != obj {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Add":
+				if st.waited && report != nil {
+					report(x.Pos(), "wg.Add after wg.Wait on the same WaitGroup races with Wait (the documented reuse hazard); use a fresh WaitGroup for the next phase or annotate //f2tree:blocking <reason>")
+				}
+				n, ok := constIntArg(pass, x)
+				if !ok || st.top {
+					st.top = true
+				} else {
+					st.delta += n
+				}
+			case "Done":
+				if !st.top {
+					if st.delta <= 0 && report != nil {
+						report(x.Pos(), "wg.Done here drives the WaitGroup counter below zero on some path: panics at runtime")
+					}
+					st.delta--
+				}
+			case "Wait":
+				if !st.top && st.delta > 0 && report != nil {
+					report(x.Pos(), "wg.Wait blocks forever on this path: %d Add(s) have no matching Done the analysis can see (only `go func(){ ... wg.Done() ... }` closures are credited); start the goroutine that calls Done, or annotate //f2tree:blocking <reason>", st.delta)
+				}
+				st.waited = true
+			}
+			return true
+		case *ast.SelectorExpr:
+			// A method value (start(wg.Done)) binds &wg and hands the
+			// balance to unseen code.
+			if id, ok := x.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj && !callFun[x] {
+				st.top = true
+			}
+		case *ast.UnaryExpr:
+			// &wg escapes: the balance is no longer locally decidable.
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					st.top = true
+				}
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[x] == obj && !benign[x] {
+				if report != nil {
+					report(x.Pos(), "sync.WaitGroup %s copied by value: Add/Done on the copy never release the original's Wait; pass &%s", x.Name, x.Name)
+				}
+				st.top = true
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// wgFoldExprUses folds only the ident-use effects (copies, aliasing) of an
+// expression — used for `go f(args)` argument lists, whose closure body
+// was handled separately.
+func wgFoldExprUses(pass *Pass, obj types.Object, e ast.Expr, benign map[*ast.Ident]bool, st wgState, report wgReport) wgState {
+	ast.Inspect(e, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if id, ok := ast.Unparen(u.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				st.top = true // address escapes into the spawned goroutine
+				return false
+			}
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj && !benign[id] {
+			if report != nil {
+				report(id.Pos(), "sync.WaitGroup %s copied by value: Add/Done on the copy never release the original's Wait; pass &%s", id.Name, id.Name)
+			}
+			st.top = true
+		}
+		return true
+	})
+	return st
+}
+
+// closureWGOps counts Done and Add calls on obj inside a spawned closure
+// body (not descending into further nested literals).
+func closureWGOps(pass *Pass, obj types.Object, body *ast.BlockStmt) (dones, adds int) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || objectOf(pass, id) != obj {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Done":
+			dones++
+		case "Add":
+			adds++
+		}
+		return true
+	})
+	return dones, adds
+}
+
+// constIntArg extracts a call's single constant int argument.
+func constIntArg(pass *Pass, call *ast.CallExpr) (int, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return int(v), true
+}

@@ -7,9 +7,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func TestWorkerPoolRunsJobsConcurrently(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := NewWorkerPool(4)
 	defer p.Close()
 	var (
@@ -60,6 +63,7 @@ func TestWorkerPoolRunsJobsConcurrently(t *testing.T) {
 // panicking job is delivered as an error with its stack while jobs running
 // concurrently on other workers complete untouched.
 func TestWorkerPoolPanicIsolation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := NewWorkerPool(2)
 	defer p.Close()
 	bad := p.Submit(func() (Metrics, any, error) { panic("query exploded") }, 0, 0)
@@ -78,6 +82,7 @@ func TestWorkerPoolPanicIsolation(t *testing.T) {
 }
 
 func TestWorkerPoolRetriesThenSucceeds(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := NewWorkerPool(1)
 	defer p.Close()
 	var mu sync.Mutex
@@ -97,6 +102,7 @@ func TestWorkerPoolRetriesThenSucceeds(t *testing.T) {
 }
 
 func TestWorkerPoolTimeoutAbandonsAttempt(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := NewWorkerPool(1)
 	defer p.Close()
 	block := make(chan struct{})
@@ -116,6 +122,7 @@ func TestWorkerPoolTimeoutAbandonsAttempt(t *testing.T) {
 }
 
 func TestWorkerPoolClosedRejectsSubmit(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := NewWorkerPool(1)
 	p.Close()
 	a := <-p.Submit(func() (Metrics, any, error) { return nil, nil, nil }, 0, 0)

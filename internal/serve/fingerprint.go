@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// reportSchemaPrefix versions the Report record layout itself. The full
+// cache schema a server stamps and accepts is prefix+"+"+fingerprint, so
+// a warm start serves only answers produced by the same record layout AND
+// the same build — a rebuilt simulator silently changing trace semantics
+// must not replay stale answers.
+const reportSchemaPrefix = "f2tree-serve/1"
+
+// reportSchema renders the full schema string for one build fingerprint.
+func reportSchema(fingerprint string) string {
+	return reportSchemaPrefix + "+" + fingerprint
+}
+
+// Fingerprint returns the build fingerprint versioning the memoization
+// store: the sha256 of the running executable, truncated to 12 hex
+// digits. It needs no go toolchain at runtime — one file read at startup
+// — and changes exactly when the deployed binary does. If the executable
+// cannot be resolved (rare: deleted binary, exotic platform) it returns
+// "unknown", which still round-trips consistently within one deployment.
+var Fingerprint = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+})
+
+// FingerprintDir is the go-list-free source fingerprint: a deterministic
+// walk over every non-test .go file under root (skipping testdata and
+// hidden directories), hashing each file's slash-separated relative path
+// and contents. Two trees with identical Go sources fingerprint
+// identically regardless of mtimes; any source edit changes it. It is the
+// fingerprint of choice for source-mode deployments where the executable
+// is a transient `go run` artifact.
+func FingerprintDir(root string) (string, error) {
+	h := sha256.New()
+	// WalkDir visits entries in lexical order, so the digest is
+	// path-order deterministic by construction.
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), len(b))
+		h.Write(b)
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("serve: fingerprinting %s: %w", root, err)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12], nil
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestFingerprintStableAndNonEmpty(t *testing.T) {
+	fp := Fingerprint()
+	if fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if again := Fingerprint(); again != fp {
+		t.Fatalf("fingerprint unstable within one process: %q then %q", fp, again)
+	}
+}
+
+func TestFingerprintDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package a\n")
+	write("sub/b.go", "package b\n")
+	write("sub/b_test.go", "package b\n")            // ignored
+	write("testdata/fixture.go", "package broken\n") // ignored
+	write("notes.txt", "ignored\n")
+
+	base, err := FingerprintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := FingerprintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again || base == "" {
+		t.Fatalf("fingerprint not deterministic: %q vs %q", base, again)
+	}
+
+	// Non-source edits are invisible; source edits are not.
+	write("sub/b_test.go", "package b // edited\n")
+	write("notes.txt", "also edited\n")
+	if fp, _ := FingerprintDir(dir); fp != base {
+		t.Error("test/non-Go edits changed the fingerprint")
+	}
+	write("sub/b.go", "package b // edited\n")
+	if fp, _ := FingerprintDir(dir); fp == base {
+		t.Error("source edit did not change the fingerprint")
+	}
+}
+
+// TestWarmStartRejectsOtherBuilds is the satellite's acceptance test: a
+// store written by one build fingerprint must not be served by a server
+// running a different one — the query re-computes and the store re-fills
+// under the new schema, after which warm starts hit again.
+func TestWarmStartRejectsOtherBuilds(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	path := filepath.Join(t.TempDir(), "serve.jsonl")
+	r1 := &stubRunner{}
+	s1, err := NewServer(Config{Workers: 1, StorePath: path, Runner: r1.run, Fingerprint: "build-one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.Answer(whatIfQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// A "rebuilt" server: same store, different fingerprint. The old
+	// answer must not be replayed.
+	r2 := &stubRunner{}
+	s2, err := NewServer(Config{Workers: 1, StorePath: path, Runner: r2.run, Fingerprint: "build-two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.CacheLen(); n != 0 {
+		t.Fatalf("warm start accepted %d records from another build, want 0", n)
+	}
+	rep, disp, err := s2.Answer(whatIfQuery(1))
+	if err != nil || disp != DispMiss {
+		t.Fatalf("stale-schema query: rep=%+v disp=%v err=%v, want a fresh miss", rep, disp, err)
+	}
+	if r2.count() != 1 {
+		t.Fatalf("runner ran %d times, want 1 (re-computation)", r2.count())
+	}
+	if rep.Schema != s2.Schema() {
+		t.Fatalf("answer stamped schema %q, want %q", rep.Schema, s2.Schema())
+	}
+	s2.Close()
+
+	// Same fingerprint again: the re-appended record warm-starts.
+	r3 := &stubRunner{}
+	s3, err := NewServer(Config{Workers: 1, StorePath: path, Runner: r3.run, Fingerprint: "build-two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if n := s3.CacheLen(); n != 1 {
+		t.Fatalf("warm start loaded %d records, want 1", n)
+	}
+	if _, disp, err := s3.Answer(whatIfQuery(1)); err != nil || disp != DispHit {
+		t.Fatalf("matching-schema warm start: disp=%v err=%v, want hit", disp, err)
+	}
+	if r3.count() != 0 {
+		t.Fatalf("runner ran %d times after warm start, want 0", r3.count())
+	}
+}

@@ -202,6 +202,11 @@ const affectedGapMs = 5
 type Report struct {
 	Key  string `json:"key"`
 	Kind string `json:"kind"`
+	// Schema is the record-layout + build-fingerprint version stamped at
+	// Append time; a warm start serves only records whose Schema matches
+	// the running server's (see fingerprint.go). Records persisted before
+	// this field existed decode with an empty Schema and re-compute.
+	Schema string `json:"schema,omitempty"`
 
 	// Whatif fields.
 	// BlackholeMs is the worst delivery gap across the workload's flows.

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // stubRunner returns a canned report and counts invocations.
@@ -48,6 +50,7 @@ func whatIfQuery(seed int64) Query {
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	s, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +208,7 @@ func TestQueryValidation(t *testing.T) {
 }
 
 func TestStorePersistsAcrossRestart(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	path := filepath.Join(t.TempDir(), "serve.jsonl")
 	r1 := &stubRunner{}
 	s1, err := NewServer(Config{Workers: 1, StorePath: path, Runner: r1.run})

@@ -31,6 +31,10 @@ type Config struct {
 	StorePath string
 	// Runner overrides the query executor (nil = run the simulator).
 	Runner Runner
+	// Fingerprint overrides the build fingerprint that versions cached
+	// Reports (empty = Fingerprint(), the running executable's hash).
+	// Tests inject distinct values to simulate a rebuilt server.
+	Fingerprint string
 }
 
 // Server answers what-if queries over a worker pool with a content-hash
@@ -41,6 +45,9 @@ type Server struct {
 	cache   *campaign.RecordStore[Report]
 	runner  Runner
 	timeout time.Duration
+	// schema is stamped into every cached Report and gates warm-start
+	// loads: only records from the same layout + build are served.
+	schema string
 
 	mu sync.Mutex
 	// inflight coalesces concurrent identical queries onto one run.
@@ -62,9 +69,17 @@ type flight struct {
 
 // NewServer builds a Server. The caller owns Close.
 func NewServer(cfg Config) (*Server, error) {
+	fp := cfg.Fingerprint
+	if fp == "" {
+		fp = Fingerprint()
+	}
+	schema := reportSchema(fp)
 	cache, err := campaign.OpenRecordStore(cfg.StorePath,
 		func(r Report) string { return r.Key },
-		func(r Report) bool { return true })
+		// Warm-start gate: records from a different record layout or a
+		// different build are left on disk but never served; their keys
+		// re-compute and re-append under the current schema.
+		func(r Report) bool { return r.Schema == schema })
 	if err != nil {
 		return nil, err
 	}
@@ -77,9 +92,13 @@ func NewServer(cfg Config) (*Server, error) {
 		cache:    cache,
 		runner:   runner,
 		timeout:  cfg.Timeout,
+		schema:   schema,
 		inflight: make(map[string]*flight),
 	}, nil
 }
+
+// Schema reports the record schema this server stamps and accepts.
+func (s *Server) Schema() string { return s.schema }
 
 // Close drains the pool and closes the cache.
 func (s *Server) Close() error {
@@ -156,6 +175,7 @@ func (s *Server) Answer(q Query) (rep *Report, disp Disposition, err error) {
 	} else {
 		r := a.Payload.(*Report)
 		r.Key = key
+		r.Schema = s.schema
 		f.rep = r
 		if aerr := s.cache.Append(*r); aerr != nil {
 			// The answer is still good; only persistence failed.
