@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check f2tree-vet vet-audit vet-cache-smoke race check chaos-smoke bench bench-campaign bench-hotpath serve bench-serve
+.PHONY: build test vet fmt-check f2tree-vet vet-audit vet-cache-smoke race check chaos-smoke detect-smoke bench bench-campaign bench-hotpath serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,16 @@ chaos-smoke:
 	mkdir -p chaos-artifacts
 	$(GO) run ./cmd/f2tree-chaos -n 10 -schemes f2tree -ports 8 \
 		-controls ospf,bgp,centralized -seed 42 -j 4 -artifacts chaos-artifacts
+
+# Detector study smoke: F²Tree fast reroute vs BGP graceful restart vs
+# plain reconvergence under both detector models on the dual-ToR fabric,
+# double-run (byte-identical traces required), all four oracles checked.
+# Any oracle violation or trace divergence fails the target; the result
+# list lands in detect-smoke.json (DESIGN.md §15).
+detect-smoke:
+	$(GO) run ./cmd/f2tree-detect -ports 6 \
+		-conditions C1,C4,flap-storm,ctrl-crash,false-detect,rand \
+		-double -out detect-smoke.json
 
 bench:
 	$(GO) test -bench=. -benchmem

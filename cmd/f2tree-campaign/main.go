@@ -47,13 +47,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("f2tree-campaign", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		preset     = fs.String("preset", "", "predefined matrix: fig4, fig6 or smoke (overrides matrix flags)")
-		kind       = fs.String("kind", "recovery", "experiment kind: recovery or pa")
+		preset     = fs.String("preset", "", "predefined matrix: fig4, fig6, detectors or smoke (overrides matrix flags)")
+		kind       = fs.String("kind", "recovery", "experiment kind: recovery, pa, chaos or detect")
 		schemes    = fs.String("schemes", "fattree,f2tree", "comma-separated schemes")
 		ports      = fs.String("ports", "8", "comma-separated switch port counts")
-		conditions = fs.String("conditions", "", "comma-separated Table IV conditions (default: all applicable)")
+		conditions = fs.String("conditions", "", "comma-separated conditions: Table IV labels, plus churn faults for -kind detect (default: all applicable)")
 		controls   = fs.String("controls", "ospf", "comma-separated control planes (recovery): ospf,bgp,centralized")
 		channels   = fs.String("channels", "1", "comma-separated concurrent-failure levels (pa)")
+		mechanisms = fs.String("mechanisms", "", "comma-separated recovery mechanisms (detect): f2tree,gr,reconv (default: all)")
+		detectors  = fs.String("detectors", "", "comma-separated detector models (detect): fixed,bfd (default: both)")
 		reps       = fs.Int("reps", 1, "seed replicates per matrix cell")
 		seed       = fs.Int64("seed", 42, "campaign base seed (per-run seeds derive from it)")
 		horizon    = fs.Duration("horizon", 0, "recovery run length override (0 = paper default 2s)")
@@ -102,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	specs, err := expandFlags(*preset, *kind, *schemes, *ports, *conditions, *controls,
-		*channels, *reps, *seed, *horizon, *paDuration, *noBG)
+		*channels, *mechanisms, *detectors, *reps, *seed, *horizon, *paDuration, *noBG)
 	if err != nil {
 		return err
 	}
@@ -157,13 +159,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // expandFlags builds the spec list from the preset or the matrix flags.
-func expandFlags(preset, kind, schemes, ports, conditions, controls, channels string,
+func expandFlags(preset, kind, schemes, ports, conditions, controls, channels, mechanisms, detectors string,
 	reps int, seed int64, horizon, paDuration time.Duration, noBG bool) ([]campaign.Spec, error) {
 	switch preset {
 	case "fig4":
 		return campaign.Fig4Matrix(seed).Expand(), nil
 	case "fig6":
 		return campaign.Fig6Matrix(seed, int(paDuration/time.Millisecond), noBG).Expand(), nil
+	case "detectors":
+		return campaign.DetectorsMatrix(seed).Expand(), nil
 	case "smoke":
 		// Fast CI matrix: the k=4 testbed pair, shortened horizon.
 		return campaign.Matrix{
@@ -192,7 +196,11 @@ func expandFlags(preset, kind, schemes, ports, conditions, controls, channels st
 	if m.Ports, err = parseInts(ports); err != nil {
 		return nil, fmt.Errorf("-ports: %w", err)
 	}
-	if conditions == "" {
+	if m.Kind == campaign.KindDetect {
+		// Detect conditions are a superset of the Table IV labels; they
+		// stay strings and Spec.Validate checks them against the catalog.
+		m.DetectConditions = splitCSV(conditions)
+	} else if conditions == "" {
 		m.Conditions = failure.AllConditions()
 	} else {
 		for _, label := range splitCSV(conditions) {
@@ -204,6 +212,8 @@ func expandFlags(preset, kind, schemes, ports, conditions, controls, channels st
 		}
 	}
 	m.Controls = splitCSV(controls)
+	m.Mechanisms = splitCSV(mechanisms)
+	m.Detectors = splitCSV(detectors)
 	if m.Channels, err = parseInts(channels); err != nil {
 		return nil, fmt.Errorf("-channels: %w", err)
 	}

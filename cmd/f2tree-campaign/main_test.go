@@ -19,6 +19,9 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-conditions", "C99"},
 		{"-ports", "eight"},
 		{"-channels", "one"},
+		{"-kind", "detect", "-mechanisms", "magic"},
+		{"-kind", "detect", "-detectors", "oracle"},
+		{"-kind", "detect", "-conditions", "C99"},
 	} {
 		if err := run(args, &out, &errw); err == nil {
 			t.Errorf("run(%v) accepted", args)
@@ -42,7 +45,7 @@ func TestBenchRefusesWithoutRealParallelism(t *testing.T) {
 
 func TestExpandFlagsMatrix(t *testing.T) {
 	specs, err := expandFlags("", "recovery", "fattree,f2tree", "8", "C1,C4", "ospf", "1",
-		2, 42, 0, 0, false)
+		"", "", 2, 42, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,8 +53,23 @@ func TestExpandFlagsMatrix(t *testing.T) {
 	if len(specs) != 8 {
 		t.Fatalf("specs = %d, want 8", len(specs))
 	}
-	for _, preset := range []string{"fig4", "fig6", "smoke"} {
-		specs, err := expandFlags(preset, "", "", "", "", "", "", 0, 42, 0, 0, false)
+	// A detect matrix narrowed on every axis: 1 mechanism × 1 detector ×
+	// 2 conditions × 2 reps.
+	specs, err = expandFlags("", "detect", "f2tree-dual", "6", "C1,flap-storm", "",
+		"1", "gr", "bfd", 2, 42, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("detect specs = %d, want 4", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+	}
+	for _, preset := range []string{"fig4", "fig6", "smoke", "detectors"} {
+		specs, err := expandFlags(preset, "", "", "", "", "", "", "", "", 0, 42, 0, 0, false)
 		if err != nil {
 			t.Fatalf("%s: %v", preset, err)
 		}

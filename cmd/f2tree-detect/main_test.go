@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, errw strings.Builder
+	for _, args := range [][]string{
+		{"-badflag"},
+		{"extra-arg"},
+		{"-mechanisms", "magic"},
+		{"-detectors", "oracle"},
+		{"-conditions", "C99"},
+		{"-ports", "5"}, // F²Tree needs even n ≥ 6
+	} {
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestSmokeSweepWritesResults runs a one-cell sweep with -double and
+// checks the JSON artifact round-trips.
+func TestSmokeSweepWritesResults(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "detect.json")
+	var out, errw strings.Builder
+	args := []string{"-ports", "6", "-mechanisms", "f2tree", "-detectors", "fixed",
+		"-conditions", "C1", "-double", "-out", outPath}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("%v\nstdout: %s\nstderr: %s", err, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "double-run: 1 cells byte-identical") {
+		t.Fatalf("double-run line missing: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "detect: 1 cells, 0 oracle violation(s)") {
+		t.Fatalf("summary line missing: %s", out.String())
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []chaos.DetectorResult
+	if err := json.Unmarshal(blob, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].RecoveryMs <= 0 || results[0].TraceHash == "" {
+		t.Fatalf("malformed results: %+v", results)
+	}
+}

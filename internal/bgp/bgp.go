@@ -32,6 +32,21 @@ type Config struct {
 	ProcDelay time.Duration
 	// FIBUpdateDelay is the best-path → forwarding-table install delay.
 	FIBUpdateDelay time.Duration
+	// GracefulRestart enables RFC 4724-style helper behavior: when a
+	// session drops, routes learned over it are retained as stale for
+	// RestartTime instead of withdrawn, and flushed only if the peer does
+	// not come back and re-sync (End-of-RIB) in time.
+	GracefulRestart bool
+	// RestartTime is how long stale routes are retained at full
+	// preference (default 2 s).
+	RestartTime time.Duration
+	// LongLived adds LLGR (draft-uttaro-idr-bgp-persistence) semantics:
+	// at RestartTime expiry, stale routes are depreferenced — used only
+	// when no fresh route exists — and kept for LLGRStaleTime more before
+	// the flush.
+	LongLived bool
+	// LLGRStaleTime is the depreferenced retention window (default 30 s).
+	LLGRStaleTime time.Duration
 }
 
 // DefaultConfig uses DC-tuned values.
@@ -54,6 +69,12 @@ func (c Config) withDefaults() Config {
 	if c.FIBUpdateDelay == 0 {
 		c.FIBUpdateDelay = d.FIBUpdateDelay
 	}
+	if c.RestartTime == 0 {
+		c.RestartTime = 2 * time.Second
+	}
+	if c.LLGRStaleTime == 0 {
+		c.LLGRStaleTime = 30 * time.Second
+	}
 	return c
 }
 
@@ -68,6 +89,10 @@ type advert struct {
 type update struct {
 	adverts   []advert
 	withdrawn []netaddr.Prefix
+	// eor is the End-of-RIB marker (RFC 4724): the sender has finished its
+	// initial (re-)advertisement; the receiving GR helper flushes whatever
+	// stale routes the session did not refresh.
+	eor bool
 }
 
 // session is per-link eBGP state.
@@ -82,6 +107,19 @@ type session struct {
 	// pending marks prefixes whose current best must be (re)advertised or
 	// withdrawn when MRAI allows.
 	pending map[netaddr.Prefix]bool
+
+	// Graceful-restart helper state. While the session is down with
+	// retained=true, the routes learned over it stay in ribIn marked stale
+	// instead of being withdrawn; stale tracks which prefixes a
+	// re-established peer has not yet refreshed. grEpoch invalidates
+	// expiry timers across down/up cycles.
+	retained      bool
+	stale         map[netaddr.Prefix]bool
+	depreferenced bool
+	grEpoch       int
+	// eorPending makes the next flush carry the End-of-RIB marker (set
+	// when the session (re-)establishes under GR).
+	eorPending bool
 }
 
 // best is a selected route for a prefix.
@@ -107,6 +145,12 @@ type Instance struct {
 	// ribIn[prefix][link] is the path learned over that session.
 	ribIn  map[netaddr.Prefix]map[topo.LinkID][]topo.NodeID
 	locRib map[netaddr.Prefix]*best
+
+	// down marks a crashed speaker (SetNodeDown): it processes nothing and
+	// rewrites no FIB until restart — the switch's data plane keeps
+	// forwarding on whatever FIB the speaker last installed
+	// (persist-on-crash).
+	down bool
 
 	fibPending bool
 	updatesRx  int
@@ -220,7 +264,7 @@ func (d *Domain) Bootstrap() error {
 // portStateChanged tears down or re-establishes the session on that port.
 func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up bool) {
 	inst := d.instances[node]
-	if inst == nil {
+	if inst == nil || inst.down {
 		return
 	}
 	//f2tree:unordered ports are unique per switch; at most one session matches
@@ -231,29 +275,107 @@ func (d *Domain) portStateChanged(now sim.Time, node topo.NodeID, port int, up b
 		if s.up == up {
 			return
 		}
-		s.up = up
 		if up {
-			// Session re-established: advertise the full table.
-			//f2tree:unordered set fill; flush sorts before sending
-			for p := range inst.locRib {
-				s.pending[p] = true
-			}
-			inst.kick(now, s)
+			inst.sessionUp(now, s)
+		} else {
+			inst.sessionDown(now, s)
+		}
+		return
+	}
+}
+
+// sessionUp (re-)establishes a session: the full table is re-advertised,
+// followed under GR by an End-of-RIB marker. Stale routes the helper
+// retained stay until the peer's EOR flushes the unrefreshed remainder.
+func (i *Instance) sessionUp(now sim.Time, s *session) {
+	s.up = true
+	s.grEpoch++ // pause any running stale-expiry timer
+	if i.d.cfg.GracefulRestart {
+		s.eorPending = true
+	}
+	//f2tree:unordered set fill; flush sorts before sending
+	for p := range i.locRib {
+		s.pending[p] = true
+	}
+	i.kick(now, s)
+}
+
+// sessionDown tears a session down: without GR everything learned over it
+// is implicitly withdrawn; a GR helper retains the routes as stale.
+func (i *Instance) sessionDown(now sim.Time, s *session) {
+	s.up = false
+	if i.d.cfg.GracefulRestart {
+		i.retainStale(now, s)
+		return
+	}
+	var affected []netaddr.Prefix
+	for _, p := range detsort.KeysFunc(i.ribIn, prefixLess) {
+		byLink := i.ribIn[p]
+		if _, ok := byLink[s.link]; ok {
+			delete(byLink, s.link)
+			affected = append(affected, p)
+		}
+	}
+	i.reselect(now, affected)
+}
+
+// retainStale is the GR helper's down path: mark everything learned over
+// the session stale, keep forwarding on it, and arm the expiry timer. At
+// RestartTime the routes are flushed — or, under LLGR, depreferenced and
+// kept for LLGRStaleTime more.
+func (i *Instance) retainStale(now sim.Time, s *session) {
+	s.retained = true
+	s.depreferenced = false
+	s.grEpoch++
+	epoch := s.grEpoch
+	s.stale = make(map[netaddr.Prefix]bool)
+	for _, p := range detsort.KeysFunc(i.ribIn, prefixLess) {
+		if _, ok := i.ribIn[p][s.link]; ok {
+			s.stale[p] = true
+		}
+	}
+	i.d.sim.At(now.Add(i.d.cfg.RestartTime), func(t sim.Time) {
+		if s.grEpoch != epoch || !s.retained || i.down {
 			return
 		}
-		// Session down: everything learned over it is implicitly
-		// withdrawn.
-		var affected []netaddr.Prefix
-		for _, p := range detsort.KeysFunc(inst.ribIn, prefixLess) {
-			byLink := inst.ribIn[p]
+		if !i.d.cfg.LongLived {
+			i.flushStale(t, s)
+			return
+		}
+		// LLGR: keep the stale routes as a last resort.
+		s.depreferenced = true
+		i.reselectRetained(t, s)
+		i.d.sim.At(t.Add(i.d.cfg.LLGRStaleTime), func(t2 sim.Time) {
+			if s.grEpoch != epoch || !s.retained || i.down {
+				return
+			}
+			i.flushStale(t2, s)
+		})
+	})
+}
+
+// flushStale drops every route the session still holds stale and clears
+// the helper state (GR timer expiry, or the peer's EOR after re-sync).
+func (i *Instance) flushStale(now sim.Time, s *session) {
+	var affected []netaddr.Prefix
+	for _, p := range detsort.KeysFunc(s.stale, prefixLess) {
+		if byLink := i.ribIn[p]; byLink != nil {
 			if _, ok := byLink[s.link]; ok {
 				delete(byLink, s.link)
 				affected = append(affected, p)
 			}
 		}
-		inst.reselect(now, affected)
-		return
 	}
+	s.stale = nil
+	s.retained = false
+	s.depreferenced = false
+	i.reselect(now, affected)
+}
+
+// reselectRetained re-runs selection for the session's stale prefixes
+// (their preference tier just changed).
+func (i *Instance) reselectRetained(now sim.Time, s *session) {
+	i.reselect(now, detsort.KeysFunc(s.stale, prefixLess))
 }
 
 // originate injects a locally sourced prefix.
@@ -270,6 +392,9 @@ func (i *Instance) originate(p netaddr.Prefix) {
 
 // receive processes an UPDATE arriving over link `from`.
 func (i *Instance) receive(now sim.Time, from topo.LinkID, upd update) {
+	if i.down {
+		return
+	}
 	i.updatesRx++
 	s := i.sessions[from]
 	if s == nil || !s.up {
@@ -277,6 +402,9 @@ func (i *Instance) receive(now sim.Time, from topo.LinkID, upd update) {
 	}
 	var affected []netaddr.Prefix
 	for _, a := range upd.adverts {
+		if s.stale != nil {
+			delete(s.stale, a.prefix) // refreshed by the restarted peer
+		}
 		if containsNode(a.path, i.node) {
 			// Loop prevention. An UPDATE replaces the neighbor's previous
 			// announcement (RFC 4271): a rejected path implicitly
@@ -300,6 +428,9 @@ func (i *Instance) receive(now sim.Time, from topo.LinkID, upd update) {
 		affected = append(affected, a.prefix)
 	}
 	for _, p := range upd.withdrawn {
+		if s.stale != nil {
+			delete(s.stale, p)
+		}
 		if byLink := i.ribIn[p]; byLink != nil {
 			if _, ok := byLink[from]; ok {
 				delete(byLink, from)
@@ -308,6 +439,10 @@ func (i *Instance) receive(now sim.Time, from topo.LinkID, upd update) {
 		}
 	}
 	i.reselect(now, affected)
+	if upd.eor && s.retained {
+		// Re-sync complete: whatever the peer did not refresh is gone.
+		i.flushStale(now, s)
+	}
 }
 
 // reselect recomputes best paths for the prefixes and floods changes.
@@ -339,18 +474,33 @@ func (i *Instance) reselect(now sim.Time, prefixes []netaddr.Prefix) {
 	}
 }
 
-// selectBest picks the multipath set of shortest AS paths over up
-// sessions.
+// selectBest picks the multipath set of shortest AS paths. Candidates are
+// routes over up sessions plus, under GR, routes a helper retains for a
+// down peer. LLGR-depreferenced stale routes form a second tier used only
+// when no fresh route exists.
 func (i *Instance) selectBest(p netaddr.Prefix) *best {
 	byLink := i.ribIn[p]
 	if len(byLink) == 0 {
 		return nil
 	}
+	if nb := i.selectTier(p, byLink, false); nb != nil {
+		return nb
+	}
+	return i.selectTier(p, byLink, true)
+}
+
+// selectTier selects among the prefix's candidates of one preference tier
+// (fresh, or LLGR-depreferenced stale).
+func (i *Instance) selectTier(p netaddr.Prefix, byLink map[topo.LinkID][]topo.NodeID, wantDepref bool) *best {
 	links := make([]topo.LinkID, 0, len(byLink))
 	minLen := -1
 	for _, l := range detsort.Keys(byLink) {
 		s := i.sessions[l]
-		if s == nil || !s.up {
+		if s == nil || (!s.up && !s.retained) {
+			continue
+		}
+		depref := s.depreferenced && s.stale != nil && s.stale[p]
+		if depref != wantDepref {
 			continue
 		}
 		if path := byLink[l]; minLen == -1 || len(path) < minLen {
@@ -386,7 +536,7 @@ func (i *Instance) kick(now sim.Time, s *session) {
 		i.flush(now, s)
 		return
 	}
-	if s.scheduled || len(s.pending) == 0 || !s.up {
+	if s.scheduled || (len(s.pending) == 0 && !s.eorPending) || !s.up {
 		return
 	}
 	at := now
@@ -402,7 +552,7 @@ func (i *Instance) kick(now sim.Time, s *session) {
 
 // flush sends one UPDATE carrying every pending prefix.
 func (i *Instance) flush(now sim.Time, s *session) {
-	if len(s.pending) == 0 || !s.up {
+	if (len(s.pending) == 0 && !s.eorPending) || !s.up {
 		return
 	}
 	var upd update
@@ -415,6 +565,12 @@ func (i *Instance) flush(now sim.Time, s *session) {
 		}
 		path := append([]topo.NodeID{i.node}, b.repr...)
 		upd.adverts = append(upd.adverts, advert{prefix: p, path: path})
+	}
+	if s.eorPending {
+		// The flush drained the full post-establishment advertisement; mark
+		// its end so the helper can flush unrefreshed stale routes.
+		upd.eor = true
+		s.eorPending = false
 	}
 	s.mraiUntil = now.Add(i.d.cfg.MRAI)
 	if i.d.bootstrapping {
@@ -441,6 +597,9 @@ func (i *Instance) scheduleFIB(now sim.Time) {
 	i.fibPending = true
 	i.d.sim.After(i.d.cfg.FIBUpdateDelay, func(sim.Time) {
 		i.fibPending = false
+		if i.down {
+			return // crashed: the last installed FIB persists untouched
+		}
 		_ = i.d.nw.Table(i.node).ReplaceSource(fib.BGP, i.routes())
 	})
 }

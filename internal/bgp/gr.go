@@ -1,0 +1,129 @@
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detsort"
+	"repro/internal/netaddr"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// SetNodeDown crashes (down=true) or restarts (down=false) a switch's BGP
+// speaker.
+//
+// Crash: the speaker forgets everything (RIBs, session state) and stops
+// processing, but its last installed FIB persists — the data plane keeps
+// forwarding on stale state (persist-on-crash), which is what makes
+// graceful restart useful: helpers retain the routes through the crashed
+// node, and traffic keeps flowing over them. Peers learn of the crash
+// after ProcDelay (their side of each session drops).
+//
+// Restart: the speaker re-originates its subnet and re-establishes every
+// session whose link is physically healthy and whose peer is alive; both
+// sides re-advertise their full tables, terminated under GR by End-of-RIB
+// markers that flush whatever stale state was not refreshed.
+func (d *Domain) SetNodeDown(now sim.Time, node topo.NodeID, down bool) {
+	inst := d.instances[node]
+	if inst == nil || inst.down == down {
+		return
+	}
+	if down {
+		inst.down = true
+		inst.ribIn = make(map[netaddr.Prefix]map[topo.LinkID][]topo.NodeID)
+		inst.locRib = make(map[netaddr.Prefix]*best)
+		for _, l := range detsort.Keys(inst.sessions) {
+			s := inst.sessions[l]
+			s.up = false
+			s.retained = false
+			s.stale = nil
+			s.depreferenced = false
+			s.eorPending = false
+			s.grEpoch++
+			s.pending = make(map[netaddr.Prefix]bool)
+		}
+		// Peers notice after one processing delay, in link order.
+		for _, l := range detsort.Keys(inst.sessions) {
+			s := inst.sessions[l]
+			ni := d.instances[s.neighbor]
+			if ni == nil {
+				continue
+			}
+			link := s.link
+			d.sim.After(d.cfg.ProcDelay, func(t sim.Time) {
+				if ni.down {
+					return
+				}
+				if ps := ni.sessions[link]; ps != nil && ps.up {
+					ni.sessionDown(t, ps)
+				}
+			})
+		}
+		return
+	}
+	inst.down = false
+	nd := d.topo.Node(node)
+	if nd.Kind == topo.ToR && !nd.Subnet.IsZero() {
+		inst.originate(nd.Subnet)
+	}
+	for _, l := range detsort.Keys(inst.sessions) {
+		s := inst.sessions[l]
+		ni := d.instances[s.neighbor]
+		if ni == nil || ni.down || !d.nw.LinkUp(s.link) {
+			continue
+		}
+		inst.sessionUp(now, s)
+		// The peer's side re-establishes too (it saw the session drop at
+		// crash time) and re-advertises toward the restarted speaker.
+		if ps := ni.sessions[s.link]; ps != nil && !ps.up {
+			ni.sessionUp(now, ps)
+		}
+	}
+}
+
+// NodeDown reports whether the node's speaker is crashed.
+func (d *Domain) NodeDown(node topo.NodeID) bool {
+	inst := d.instances[node]
+	return inst != nil && inst.down
+}
+
+// GRSpec is the JSON-embeddable graceful-restart configuration used by
+// scenario and campaign schemas. Its presence enables GR helper mode.
+type GRSpec struct {
+	// RestartMs overrides the stale-retention timer (default 2000 ms).
+	RestartMs int `json:"restartMs,omitempty"`
+	// LongLived enables LLGR: expired stale routes are depreferenced and
+	// kept for StaleMs more instead of flushed.
+	LongLived bool `json:"longLived,omitempty"`
+	// StaleMs overrides the LLGR depreferenced-retention window (default
+	// 30000 ms).
+	StaleMs int `json:"staleMs,omitempty"`
+}
+
+// Validate rejects malformed specs.
+func (g *GRSpec) Validate() error {
+	if g.RestartMs < 0 {
+		return fmt.Errorf("bgp: negative gr restartMs %d", g.RestartMs)
+	}
+	if g.StaleMs < 0 {
+		return fmt.Errorf("bgp: negative gr staleMs %d", g.StaleMs)
+	}
+	if g.StaleMs > 0 && !g.LongLived {
+		return fmt.Errorf("bgp: gr staleMs set without longLived")
+	}
+	return nil
+}
+
+// Apply enables graceful restart on a Config with the spec's timers.
+func (g *GRSpec) Apply(c Config) Config {
+	c.GracefulRestart = true
+	if g.RestartMs > 0 {
+		c.RestartTime = time.Duration(g.RestartMs) * time.Millisecond
+	}
+	c.LongLived = g.LongLived
+	if g.StaleMs > 0 {
+		c.LLGRStaleTime = time.Duration(g.StaleMs) * time.Millisecond
+	}
+	return c
+}

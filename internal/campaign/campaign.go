@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/exp"
 	"repro/internal/failure"
 )
@@ -45,6 +46,10 @@ const (
 	// KindChaos is one fuzzed chaos scenario checked by the invariant
 	// oracles (internal/chaos) — a cell of the robustness campaign.
 	KindChaos Kind = "chaos"
+	// KindDetect is one detector-comparison cell (mechanism × detector ×
+	// condition, see chaos.RunDetectorCell) — a cell of the production
+	// failure-detection study.
+	KindDetect Kind = "detect"
 )
 
 // Spec is one independent run: the experiment coordinates that fully
@@ -54,11 +59,18 @@ type Spec struct {
 	Kind   Kind   `json:"kind"`
 	Scheme string `json:"scheme"`
 	Ports  int    `json:"ports"`
-	// Condition is the Table IV label ("C1".."C7"); recovery runs only.
+	// Condition is the failure condition: a Table IV label ("C1".."C7")
+	// for recovery runs, or additionally a churn fault ("flap-storm",
+	// "ctrl-crash", "false-detect", "rand") for detect runs.
 	Condition string `json:"condition,omitempty"`
 	// Control is the control plane ("ospf", "bgp", "centralized");
 	// recovery runs only, empty means ospf.
 	Control string `json:"control,omitempty"`
+	// Mechanism is the recovery mechanism ("f2tree", "gr", "reconv");
+	// detect runs only.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Detector is the detector model ("fixed", "bfd"); detect runs only.
+	Detector string `json:"detector,omitempty"`
 	// Channels is the concurrent-failure level; pa runs only.
 	Channels int `json:"channels,omitempty"`
 	// HorizonMS overrides the recovery run length (0 = the 2 s default).
@@ -102,6 +114,9 @@ func (s Spec) Seed() int64 {
 		return exp.PASeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports, s.Channels, s.Rep)
 	case KindChaos:
 		return exp.ChaosSeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports, s.control(), s.Rep)
+	case KindDetect:
+		return exp.DetectSeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports,
+			s.Mechanism, s.Detector, s.Condition, s.Rep)
 	default:
 		cond, _ := ParseCondition(s.Condition)
 		return exp.RecoverySeed(s.BaseSeed, exp.Scheme(s.Scheme), s.Ports, cond, s.control(), s.Rep)
@@ -140,6 +155,18 @@ func (s Spec) Validate() error {
 		default:
 			return fmt.Errorf("campaign: unknown control plane %q", s.Control)
 		}
+	case KindDetect:
+		if !containsString(chaos.DetectorMechanisms(), s.Mechanism) {
+			return fmt.Errorf("campaign: unknown mechanism %q (want one of %v)",
+				s.Mechanism, chaos.DetectorMechanisms())
+		}
+		if !containsString(chaos.DetectorModes(), s.Detector) {
+			return fmt.Errorf("campaign: unknown detector %q (want one of %v)",
+				s.Detector, chaos.DetectorModes())
+		}
+		if !containsString(chaos.DetectorConditions(), s.Condition) {
+			return fmt.Errorf("campaign: unknown detect condition %q", s.Condition)
+		}
 	default:
 		return fmt.Errorf("campaign: unknown kind %q", s.Kind)
 	}
@@ -173,6 +200,11 @@ type Matrix struct {
 	Conditions []failure.Condition // recovery axis
 	Controls   []string            // recovery axis; default {ospf}
 	Channels   []int               // pa axis; default {1}
+	// Detect axes; defaults: all mechanisms, all detector modes, the
+	// full chaos.DetectorConditions catalog.
+	Mechanisms       []string
+	Detectors        []string
+	DetectConditions []string
 	// Reps is the number of seed replicates per cell (default 1).
 	Reps     int
 	BaseSeed int64
@@ -187,8 +219,9 @@ type Matrix struct {
 }
 
 // Expand enumerates the matrix into specs, in a deterministic order
-// (schemes, then ports, then conditions/channels, then controls, then
-// reps — exactly the nesting below).
+// (schemes, then ports, then the kind's own axes — conditions/controls,
+// channels, or mechanisms/detectors/detect conditions — then reps,
+// exactly the nesting below).
 func (m Matrix) Expand() []Spec {
 	reps := m.Reps
 	if reps <= 0 {
@@ -201,6 +234,18 @@ func (m Matrix) Expand() []Spec {
 	channels := m.Channels
 	if len(channels) == 0 {
 		channels = []int{1}
+	}
+	mechanisms := m.Mechanisms
+	if len(mechanisms) == 0 {
+		mechanisms = chaos.DetectorMechanisms()
+	}
+	detectors := m.Detectors
+	if len(detectors) == 0 {
+		detectors = chaos.DetectorModes()
+	}
+	detectConds := m.DetectConditions
+	if len(detectConds) == 0 {
+		detectConds = chaos.DetectorConditions()
 	}
 	var out []Spec
 	add := func(s Spec) {
@@ -229,6 +274,18 @@ func (m Matrix) Expand() []Spec {
 					s.Control = control
 					add(s)
 				}
+			case KindDetect:
+				for _, mech := range mechanisms {
+					for _, det := range detectors {
+						for _, cond := range detectConds {
+							s := base
+							s.Mechanism = mech
+							s.Detector = det
+							s.Condition = cond
+							add(s)
+						}
+					}
+				}
 			default:
 				for _, cond := range m.Conditions {
 					if m.SkipInapplicable && !conditionApplies(scheme, cond) {
@@ -245,6 +302,15 @@ func (m Matrix) Expand() []Spec {
 		}
 	}
 	return out
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // conditionApplies reports whether the scheme's topology can express the

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestDetectorsMatrixShape: the preset expands to the full mechanism ×
+// detector × condition cross product, every spec validates, and keys are
+// unique (distinct cache identities).
+func TestDetectorsMatrixShape(t *testing.T) {
+	specs := DetectorsMatrix(42).Expand()
+	want := len(chaos.DetectorMechanisms()) * len(chaos.DetectorModes()) * len(chaos.DetectorConditions())
+	if len(specs) != want {
+		t.Fatalf("expanded %d specs, want %d", len(specs), want)
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+		if s.Kind != KindDetect || s.Mechanism == "" || s.Detector == "" || s.Condition == "" {
+			t.Fatalf("incomplete detect spec: %s", s.Key())
+		}
+		if seen[s.Key()] {
+			t.Fatalf("duplicate spec %s", s.Key())
+		}
+		seen[s.Key()] = true
+	}
+}
+
+// TestDetectSpecValidation: malformed detect coordinates are rejected.
+func TestDetectSpecValidation(t *testing.T) {
+	good := Spec{Kind: KindDetect, Scheme: "f2tree-dual", Ports: 6,
+		Mechanism: chaos.MechGR, Detector: "bfd", Condition: "C1", BaseSeed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Spec){
+		"unknown mechanism": func(s *Spec) { s.Mechanism = "magic" },
+		"unknown detector":  func(s *Spec) { s.Detector = "oracle" },
+		"unknown condition": func(s *Spec) { s.Condition = "C99" },
+		"empty mechanism":   func(s *Spec) { s.Mechanism = "" },
+	} {
+		s := good
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted %s", name, s.Key())
+		}
+	}
+}
+
+// TestDetectSpecOmittedFromOtherKinds: the new fields are omitempty, so
+// pre-existing recovery/pa/chaos specs keep their canonical keys — and
+// therefore their store hashes — unchanged.
+func TestDetectSpecOmittedFromOtherKinds(t *testing.T) {
+	s := Spec{Kind: KindRecovery, Scheme: "f2tree", Ports: 8, Condition: "C1", BaseSeed: 42}
+	want := `{"kind":"recovery","scheme":"f2tree","ports":8,"condition":"C1","base_seed":42,"rep":0}`
+	if s.Key() != want {
+		t.Fatalf("recovery key changed:\n  got  %s\n  want %s", s.Key(), want)
+	}
+}
+
+// TestRunDetectSpecDeterministic runs one cell twice through the real
+// runner and requires identical metrics and trace hash.
+func TestRunDetectSpecDeterministic(t *testing.T) {
+	spec := Spec{Kind: KindDetect, Scheme: "f2tree-dual", Ports: 6,
+		Mechanism: chaos.MechF2Tree, Detector: "fixed", Condition: "C1", BaseSeed: 42}
+	runner := ExperimentRunner()
+	m1, p1, err := runner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, p2, err := runner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("metrics differ: %v vs %v", m1, m2)
+	}
+	r1, r2 := p1.(*chaos.DetectorResult), p2.(*chaos.DetectorResult)
+	if r1.TraceHash != r2.TraceHash {
+		t.Fatalf("trace hashes differ: %s vs %s", r1.TraceHash, r2.TraceHash)
+	}
+	if r1.Violations != 0 {
+		t.Fatalf("C1 cell violated oracles: %+v", r1)
+	}
+	if r1.RecoveryMs <= 0 {
+		t.Fatalf("C1 cell shows no recovery window: %+v", r1)
+	}
+}

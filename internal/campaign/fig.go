@@ -54,6 +54,21 @@ func RunFig4(seed int64, o Options) (*exp.Fig4Results, error) {
 	return res, nil
 }
 
+// DetectorsMatrix is the production failure-detection study as a campaign
+// matrix: every recovery mechanism (F²Tree, BGP graceful restart, plain
+// reconvergence) crossed with both detector models (fixed delay, adaptive
+// BFD) on the dual-ToR fabric, over the Table IV conditions plus the
+// churn faults and a random failure mix — the recovery-time and
+// blackhole-window distributions behind the detector comparison.
+func DetectorsMatrix(seed int64) Matrix {
+	return Matrix{
+		Kind:     KindDetect,
+		Schemes:  []exp.Scheme{exp.SchemeF2TreeDual},
+		Ports:    []int{6},
+		BaseSeed: seed,
+	}
+}
+
 // Fig6Matrix is the Fig 6 partition-aggregate comparison (§IV-B) as a
 // campaign matrix: both schemes at 1 and 5 concurrent failures.
 func Fig6Matrix(seed int64, durationMS int, noBackground bool) Matrix {

@@ -23,6 +23,8 @@ func ExperimentRunner() RunFunc {
 			return runPASpec(s)
 		case KindChaos:
 			return runChaosSpec(s)
+		case KindDetect:
+			return runDetectSpec(s)
 		default:
 			return nil, nil, fmt.Errorf("campaign: unknown kind %q", s.Kind)
 		}
@@ -108,6 +110,27 @@ func runChaosSpec(s Spec) (Metrics, any, error) {
 		"horizon_ms":      float64(v.HorizonMs),
 	}
 	return m, &ChaosOutcome{Scenario: sc, Verdict: v}, nil
+}
+
+// runDetectSpec runs one detector-comparison cell. The payload is the
+// full *chaos.DetectorResult (cell coordinates, per-flow gaps, trace
+// hash); the metrics are the distribution inputs the store aggregates.
+func runDetectSpec(s Spec) (Metrics, any, error) {
+	res, err := chaos.RunDetectorCell(chaos.DetectorCell{
+		Scheme: s.Scheme, Ports: s.Ports,
+		Mechanism: s.Mechanism, Detector: s.Detector, Condition: s.Condition,
+		BaseSeed: s.BaseSeed, Rep: s.Rep,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := Metrics{
+		"recovery_ms": float64(res.RecoveryMs),
+		"false_downs": float64(res.FalseDowns),
+		"violations":  float64(res.Violations),
+		"flows":       float64(len(res.GapsMs)),
+	}
+	return m, res, nil
 }
 
 // ChaosOutcome is the in-process payload of a chaos cell.

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bgp"
+	"repro/internal/detect"
 	"repro/internal/exp"
 )
 
@@ -68,7 +70,26 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		},
 		"ospf fault under bgp": func(sc *Scenario) {
 			sc.Control = exp.ControlBGP
+			sc.Faults = []Fault{{Kind: FaultLSADrop, AtMs: 100, EndMs: 300}}
+		},
+		"crash under centralized": func(sc *Scenario) {
+			sc.Control = exp.ControlCentralized
 			sc.Faults = []Fault{{Kind: FaultCrash, AtMs: 100, Node: "x"}}
+		},
+		"ctrl-crash without restart": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultCtrlCrash, AtMs: 100, Node: "x"}}
+		},
+		"false-detect without window": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultFalseDetect, AtMs: 100, A: "x", B: "y"}}
+		},
+		"flap-storm without period": func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultFlapStorm, AtMs: 100, EndMs: 400}}
+		},
+		"gr without bgp": func(sc *Scenario) {
+			sc.GR = &bgp.GRSpec{}
+		},
+		"bad detector": func(sc *Scenario) {
+			sc.Detector = &detect.Spec{Mode: "quantum"}
 		},
 	}
 	for name, mutate := range cases {

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadFlapScenario parses the committed flap-under-load scenario: an
+// aggressive adaptive-BFD configuration (2 ms × 2 with a 500 µs echo
+// budget) under a line-rate-saturating probe flow and zero injected
+// faults — every detector verdict against the healthy fabric is a load-
+// coupled false positive.
+func loadFlapScenario(t *testing.T) *Scenario {
+	t.Helper()
+	f, err := os.Open(filepath.Join("scenarios", "bfd-flap-under-load.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestBFDFlapsUnderLoadFixedDoesNot is the load-coupling demonstration:
+// on an entirely healthy fabric, the saturating flow's queueing delays
+// push echo probes past the aggressive budget and the adaptive sessions
+// flap (FalseDowns > 0), while the fixed-delay detector — blind to
+// congestion — never issues a false verdict on the identical scenario.
+func TestBFDFlapsUnderLoadFixedDoesNot(t *testing.T) {
+	sc := loadFlapScenario(t)
+	bfd, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfd.FalseDowns == 0 {
+		t.Fatalf("adaptive BFD under load produced no false positives: %+v", bfd)
+	}
+
+	fixed := *sc
+	fixed.Detector = nil
+	fv, err := RunScenario(&fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.FalseDowns != 0 {
+		t.Fatalf("fixed detector produced %d false positives on a healthy fabric", fv.FalseDowns)
+	}
+	if fv.Violated() {
+		t.Fatalf("fixed detector run violated oracles: %+v", fv.Violations)
+	}
+}
+
+// TestBFDFlapScenarioDeterministic double-runs the committed scenario and
+// requires byte-identical traces (the hash digests the scenario JSON plus
+// every arrival, drop, fault and belief event).
+func TestBFDFlapScenarioDeterministic(t *testing.T) {
+	sc := loadFlapScenario(t)
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hashes differ: %s vs %s", a.TraceHash, b.TraceHash)
+	}
+	if a.FalseDowns != b.FalseDowns {
+		t.Fatalf("false-down counts differ: %d vs %d", a.FalseDowns, b.FalseDowns)
+	}
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+)
+
+// TestDetectorCellsCleanAndDeterministic runs a slice of the detector
+// comparison (one condition per fault family, every mechanism, both
+// detectors) on the dual-ToR fabric: all four oracles must pass and a
+// second run must be byte-identical.
+func TestDetectorCellsCleanAndDeterministic(t *testing.T) {
+	cells := []DetectorCell{
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechF2Tree, Detector: detect.ModeFixed, Condition: "C1", BaseSeed: 42},
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechF2Tree, Detector: detect.ModeBFD, Condition: "C4", BaseSeed: 42},
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechGR, Detector: detect.ModeFixed, Condition: FaultCtrlCrash, BaseSeed: 42},
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechGR, Detector: detect.ModeBFD, Condition: "C1", BaseSeed: 42},
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechReconv, Detector: detect.ModeFixed, Condition: FaultFalseDetect, BaseSeed: 42},
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechReconv, Detector: detect.ModeBFD, Condition: "rand", BaseSeed: 42},
+		{Scheme: "f2tree-dual", Ports: 6, Mechanism: MechF2Tree, Detector: detect.ModeFixed, Condition: FaultFlapStorm, BaseSeed: 42},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.Mechanism+"/"+cell.Detector+"/"+cell.Condition, func(t *testing.T) {
+			a, err := RunDetectorCell(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Violations != 0 {
+				sc, _ := detectorScenario(cell)
+				v, _ := RunScenario(sc)
+				t.Fatalf("cell has %d oracle violations: %+v", a.Violations, v.Violations)
+			}
+			b, err := RunDetectorCell(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.TraceHash != b.TraceHash {
+				t.Fatalf("trace hashes differ: %s vs %s", a.TraceHash, b.TraceHash)
+			}
+		})
+	}
+}
+
+// TestDetectorCompareSweepShape checks the sweep covers the requested
+// matrix in deterministic order.
+func TestDetectorCompareSweepShape(t *testing.T) {
+	res, err := RunDetectorCompare(DetectorCompareOpts{
+		Ports:      6,
+		Mechanisms: []string{MechF2Tree},
+		Detectors:  []string{detect.ModeFixed},
+		Conditions: []string{"C1", "C2"},
+		Reps:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("want 4 cells, got %d", len(res))
+	}
+	if res[0].Cell.Condition != "C1" || res[0].Cell.Rep != 0 ||
+		res[3].Cell.Condition != "C2" || res[3].Cell.Rep != 1 {
+		t.Fatalf("sweep order wrong: %+v", res)
+	}
+	for _, r := range res {
+		if r.RecoveryMs <= 0 {
+			t.Fatalf("cell %+v reports no recovery gap", r.Cell)
+		}
+	}
+}

@@ -55,10 +55,13 @@ func Generate(cfg FuzzConfig, seed int64) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(seed))
 	kinds := []string{
 		FaultLinkDown, FaultUnidirDown, FaultGray, FaultFlap,
-		FaultPodBurst, FaultHelloSuppress,
+		FaultPodBurst, FaultHelloSuppress, FaultFalseDetect, FaultFlapStorm,
 	}
 	if cfg.Control == "" || cfg.Control == exp.ControlOSPF {
-		kinds = append(kinds, FaultLSADrop, FaultLSADelay, FaultCrash)
+		kinds = append(kinds, FaultLSADrop, FaultLSADelay)
+	}
+	if cfg.Control == "" || cfg.Control == exp.ControlOSPF || cfg.Control == exp.ControlBGP {
+		kinds = append(kinds, FaultCrash, FaultCtrlCrash)
 	}
 
 	sc := &Scenario{
@@ -127,6 +130,20 @@ func Generate(cfg FuzzConfig, seed int64) (*Scenario, error) {
 			} else {
 				window()
 			}
+		case FaultCtrlCrash:
+			f.Node = switches[rng.Intn(len(switches))]
+			window()
+		case FaultFalseDetect:
+			link()
+			window()
+		case FaultFlapStorm:
+			if len(pods) == 0 {
+				i--
+				continue
+			}
+			f.Pod = pods[rng.Intn(len(pods))]
+			window()
+			f.PeriodMs = 30 + int64(rng.Intn(121)) // 30–150 ms
 		}
 		sc.Faults = append(sc.Faults, f)
 	}

@@ -225,6 +225,7 @@ func (r *run) verdict() *Verdict {
 		Delivered:  stats.Delivered,
 		Drops:      stats.TotalDrops(),
 		Injected:   stats.Drops[network.DropInjected],
+		FalseDowns: stats.FalseDowns,
 		HorizonMs:  int64(r.horizon / sim.Millisecond),
 		BudgetMs:   int64(r.budget / sim.Millisecond),
 	}

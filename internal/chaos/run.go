@@ -9,6 +9,7 @@ import (
 	"hash"
 	"time"
 
+	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fib"
@@ -58,12 +59,17 @@ type Verdict struct {
 	Flows      []FlowStats `json:"flows"`
 	// TransientLoops counts TTL expiries excused by disturbed windows.
 	TransientLoops uint64 `json:"transientLoops"`
-	Sent           uint64 `json:"sent"`
-	Delivered      uint64 `json:"delivered"`
-	Drops          uint64 `json:"drops"`
-	Injected       uint64 `json:"injected"`
-	HorizonMs      int64  `json:"horizonMs"`
-	BudgetMs       int64  `json:"budgetMs"`
+	// FalseDowns counts detector verdicts that declared a port of a
+	// healthy link down — forced-belief faults plus any adaptive-BFD
+	// false positives. Always zero under the fixed detector with no
+	// belief faults scheduled.
+	FalseDowns uint64 `json:"falseDowns,omitempty"`
+	Sent       uint64 `json:"sent"`
+	Delivered  uint64 `json:"delivered"`
+	Drops      uint64 `json:"drops"`
+	Injected   uint64 `json:"injected"`
+	HorizonMs  int64  `json:"horizonMs"`
+	BudgetMs   int64  `json:"budgetMs"`
 	// TraceHash digests the scenario and every arrival, drop and fault
 	// application (time, flow, cause): two runs of the same scenario are
 	// equivalent iff their hashes match.
@@ -179,6 +185,8 @@ func RunScenarioOpts(sc *Scenario, opts RunOpts) (*Verdict, error) {
 	for _, fr := range r.flows {
 		fr.source.Stop()
 	}
+	// A free-running detector (BFD) would keep the simulator busy forever.
+	r.lab.Net.StopDetector()
 	// Drain: in-flight packets, pending detections, SPF runs, refreshes.
 	if err := r.lab.Sim.RunUntilIdle(); err != nil {
 		return nil, err
@@ -207,8 +215,17 @@ func setup(sc *Scenario, opts RunOpts) (*run, error) {
 	if seed == 0 {
 		seed = 42
 	}
+	var netCfg network.Config
+	if sc.Detector != nil {
+		netCfg.Detector = *sc.Detector
+	}
+	var bgpCfg bgp.Config
+	if sc.GR != nil {
+		bgpCfg = sc.GR.Apply(bgpCfg)
+	}
 	lab, err := core.NewLab(core.LabConfig{
 		Topology: tp, Seed: seed, ControlPlane: cp, OSPF: opts.OSPF,
+		Net: netCfg, BGP: bgpCfg,
 		DisableFastReroute: sc.DisableFastReroute || sc.EqualPrefixBackup,
 	})
 	if err != nil {
@@ -335,10 +352,12 @@ func (r *run) resolveFaults() error {
 		}
 		var err error
 		switch f.Kind {
-		case FaultLinkDown, FaultUnidirDown, FaultGray, FaultFlap:
+		case FaultLinkDown, FaultUnidirDown, FaultGray, FaultFlap, FaultFalseDetect:
 			f.link, f.fromID, err = r.fabricLink(f.A, f.B)
-		case FaultPodBurst:
+		case FaultPodBurst, FaultFlapStorm:
 			f.links, err = r.podLinks(f.Pod)
+		case FaultCtrlCrash:
+			f.nodeID, err = r.resolveSwitch(f.Node)
 		case FaultCrash:
 			f.nodeID, err = r.resolveSwitch(f.Node)
 			if err == nil {
@@ -564,7 +583,7 @@ func (r *run) schedule() {
 			}
 		})
 	}
-	det := sim.Time(r.lab.Net.Config().DetectionDelay)
+	det := sim.Time(r.lab.Net.DetectionBound())
 	for _, f := range r.faults {
 		f := f
 		switch f.Kind {
@@ -572,13 +591,13 @@ func (r *run) schedule() {
 			s.At(f.at, func(now sim.Time) {
 				r.hash.event('c', now, int64(f.nodeID), 0)
 				r.lab.Net.Table(f.nodeID).Clear()
-				r.lab.Domain.SetNodeDown(now, f.nodeID, true)
+				r.ctrlSetNodeDown(now, f.nodeID, true)
 			})
 			if f.EndMs > 0 {
 				s.At(f.end, func(now sim.Time) {
 					r.hash.event('r', now, int64(f.nodeID), 0)
 					// A rebooted switch reloads connected + static config
-					// from NVRAM, then OSPF re-originates.
+					// from NVRAM, then the control plane re-originates.
 					if err := r.lab.Net.ReinstallConnectedRoutes(f.nodeID); err != nil {
 						panic(fmt.Sprintf("chaos: reinstall connected on restart: %v", err))
 					}
@@ -587,15 +606,65 @@ func (r *run) schedule() {
 							panic(fmt.Sprintf("chaos: reinstall backup routes on restart: %v", err))
 						}
 					}
-					r.lab.Domain.SetNodeDown(now, f.nodeID, false)
+					r.ctrlSetNodeDown(now, f.nodeID, false)
 				})
 				// Once the neighbors' detectors have seen the links come
 				// back, a refresh round repopulates the wiped LSDB (the
 				// model floods only on change; RFC 2328 would refresh).
-				s.At(f.end+det+5*sim.Millisecond, func(now sim.Time) {
+				// BGP needs no refresh: session re-establishment already
+				// re-advertises the full tables.
+				if r.lab.Domain != nil {
+					s.At(f.end+det+5*sim.Millisecond, func(now sim.Time) {
+						r.lab.Domain.RefreshAll(now)
+					})
+				}
+			}
+		case FaultCtrlCrash:
+			s.At(f.at, func(now sim.Time) {
+				r.hash.event('c', now, int64(f.nodeID), 1)
+				r.ctrlSetNodeDown(now, f.nodeID, true)
+			})
+			s.At(f.end, func(now sim.Time) {
+				r.hash.event('r', now, int64(f.nodeID), 1)
+				r.ctrlSetNodeDown(now, f.nodeID, false)
+			})
+			// The links never went down, so neighbors flood nothing on
+			// their own; a refresh round repopulates the restarted OSPF
+			// instance's LSDB. The persisted FIB needs no reinstall.
+			if r.lab.Domain != nil {
+				s.At(f.end+5*sim.Millisecond, func(now sim.Time) {
 					r.lab.Domain.RefreshAll(now)
 				})
 			}
+		case FaultFalseDetect:
+			s.At(f.at, func(now sim.Time) {
+				r.hash.event('b', now, int64(f.link), 0)
+				r.forceBelief(now, f.link, false)
+			})
+			s.At(f.end, func(now sim.Time) {
+				r.hash.event('b', now, int64(f.link), 1)
+				r.rescanLinks([]topo.LinkID{f.link})
+			})
+		case FaultFlapStorm:
+			down := true
+			for t := f.at; t < f.end; t += sim.Time(f.PeriodMs) * sim.Millisecond {
+				tickDown := down
+				s.At(t, func(now sim.Time) {
+					r.hash.event('b', now, int64(f.Pod), boolInt(!tickDown))
+					if tickDown {
+						for _, l := range f.links {
+							r.forceBelief(now, l, false)
+						}
+					} else {
+						r.rescanLinks(f.links)
+					}
+				})
+				down = !down
+			}
+			s.At(f.end, func(now sim.Time) {
+				r.hash.event('b', now, int64(f.Pod), 1)
+				r.rescanLinks(f.links)
+			})
 		case FaultLSADrop:
 			// The dropped floods are gone; refresh at window end like the
 			// periodic LSA refresh would.
@@ -615,6 +684,42 @@ func (r *run) schedule() {
 			fr.source.Stop()
 		}
 	})
+}
+
+// ctrlSetNodeDown crashes or restarts the node's routing process on
+// whichever control plane the scenario runs (Validate gates the crash
+// kinds to OSPF and BGP).
+func (r *run) ctrlSetNodeDown(now sim.Time, node topo.NodeID, down bool) {
+	switch {
+	case r.lab.Domain != nil:
+		r.lab.Domain.SetNodeDown(now, node, down)
+	case r.lab.BGP != nil:
+		r.lab.BGP.SetNodeDown(now, node, down)
+	}
+}
+
+// forceBelief writes a detector verdict for both endpoints of the link
+// (A end first) without touching the wire — a detector false positive.
+func (r *run) forceBelief(now sim.Time, link topo.LinkID, up bool) {
+	for _, end := range r.lab.Net.LinkEnds(link) {
+		r.lab.Net.SetPortBelief(now, end.Node, end.Port, up)
+	}
+}
+
+// rescanLinks re-arms the detectors on every endpoint node of the links,
+// letting the configured detector re-assert the actual wire state (a
+// direct belief write could mask a concurrent real failure).
+func (r *run) rescanLinks(links []topo.LinkID) {
+	seen := make(map[topo.NodeID]bool)
+	for _, id := range links {
+		for _, end := range r.lab.Net.LinkEnds(id) {
+			if seen[end.Node] {
+				continue
+			}
+			seen[end.Node] = true
+			r.lab.Net.RescanPorts(end.Node)
+		}
+	}
 }
 
 func boolInt(b bool) int64 {

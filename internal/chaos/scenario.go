@@ -20,11 +20,15 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/bgp"
+	"repro/internal/detect"
 	"repro/internal/exp"
 )
 
 // Fault kinds. Data-plane kinds work under every control plane;
-// control-plane kinds (lsa-drop, lsa-delay, crash) need OSPF.
+// control-plane kinds are gated on the planes that implement them
+// (lsa-drop and lsa-delay need OSPF; crash and ctrl-crash work under
+// OSPF and BGP).
 const (
 	// FaultLinkDown fails link a–b at atMs; endMs > 0 restores it.
 	FaultLinkDown = "link-down"
@@ -53,10 +57,26 @@ const (
 	// FaultLSADelay adds delayMs to every flood hop during [atMs, endMs].
 	FaultLSADelay = "lsa-delay"
 	// FaultCrash crashes switch node at atMs: all links down, FIB wiped,
-	// OSPF instance dead. endMs > 0 restarts it (links up, connected +
-	// static routes reinstalled, OSPF re-originates); endMs = 0 leaves it
-	// down for good.
+	// control-plane instance dead. endMs > 0 restarts it (links up,
+	// connected + static routes reinstalled, the control plane
+	// re-originates); endMs = 0 leaves it down for good.
 	FaultCrash = "crash"
+	// FaultCtrlCrash crashes only node's control-plane process during
+	// [atMs, endMs]: links stay up and the last installed FIB keeps
+	// forwarding (persist-on-crash), but the speaker stops processing.
+	// Under BGP with graceful restart enabled, helpers retain the routes
+	// through the crashed speaker as stale instead of withdrawing them.
+	FaultCtrlCrash = "ctrl-crash"
+	// FaultFalseDetect forces both endpoints of healthy link a–b to
+	// believe it is down during [atMs, endMs] — a detector false positive
+	// (e.g. an overloaded BFD session missing its deadline). The wire
+	// itself never fails; the ports rescan at window end.
+	FaultFalseDetect = "false-detect"
+	// FaultFlapStorm forces the beliefs about every fabric link of pod
+	// down and back up every periodMs during [atMs, endMs] — correlated
+	// detector churn (a flapping optic bank, a BFD storm), ending with a
+	// rescan that restores truthful beliefs. The wires never fail.
+	FaultFlapStorm = "flap-storm"
 )
 
 // Fault is one scheduled fault of a scenario.
@@ -112,6 +132,12 @@ type Scenario struct {
 	EqualPrefixBackup bool `json:"equalPrefixBackup,omitempty"`
 	// DisableFastReroute ablates backup routes entirely.
 	DisableFastReroute bool `json:"disableFastReroute,omitempty"`
+	// Detector selects the failure-detection model (nil = the fixed
+	// 60 ms delay every existing scenario ran under, byte-identical).
+	Detector *detect.Spec `json:"detector,omitempty"`
+	// GR enables BGP graceful restart with the spec's timers. Requires
+	// the bgp control plane.
+	GR *bgp.GRSpec `json:"gr,omitempty"`
 	// Flows defaults to leftmost→rightmost and rightmost→leftmost.
 	Flows  []Flow  `json:"flows,omitempty"`
 	Faults []Fault `json:"faults"`
@@ -128,19 +154,23 @@ func (sc *Scenario) controlName() string {
 // needsLink reports whether the kind names a link via A/B.
 func needsLink(kind string) bool {
 	switch kind {
-	case FaultLinkDown, FaultUnidirDown, FaultGray, FaultFlap:
+	case FaultLinkDown, FaultUnidirDown, FaultGray, FaultFlap, FaultFalseDetect:
 		return true
 	}
 	return false
 }
 
-// needsOSPF reports whether the kind manipulates the OSPF control plane.
-func needsOSPF(kind string) bool {
+// controlsFor returns the control planes the kind works under (nil =
+// any): lsa-drop/lsa-delay manipulate OSPF flooding; crash/ctrl-crash
+// need a per-node routing process to kill (OSPF or BGP).
+func controlsFor(kind string) []string {
 	switch kind {
-	case FaultLSADrop, FaultLSADelay, FaultCrash:
-		return true
+	case FaultLSADrop, FaultLSADelay:
+		return []string{exp.ControlOSPF}
+	case FaultCrash, FaultCtrlCrash:
+		return []string{exp.ControlOSPF, exp.ControlBGP}
 	}
-	return false
+	return nil
 }
 
 // lastTransitionMs is when the fault's final state write happens (AtMs
@@ -166,6 +196,19 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.HorizonMs < 0 || sc.BudgetMs < 0 {
 		return fmt.Errorf("chaos: negative horizon or budget")
+	}
+	if sc.Detector != nil {
+		if err := sc.Detector.Validate(); err != nil {
+			return fmt.Errorf("chaos: detector: %w", err)
+		}
+	}
+	if sc.GR != nil {
+		if control != exp.ControlBGP {
+			return fmt.Errorf("chaos: gr needs the bgp control plane, have %s", control)
+		}
+		if err := sc.GR.Validate(); err != nil {
+			return fmt.Errorf("chaos: gr: %w", err)
+		}
 	}
 	seen := make(map[string]int, len(sc.Flows))
 	for i, f := range sc.Flows {
@@ -195,9 +238,17 @@ func (sc *Scenario) Validate() error {
 		if needsLink(f.Kind) && (f.A == "" || f.B == "") {
 			return fmt.Errorf("chaos: fault %d: %s needs link endpoints a and b", i, f.Kind)
 		}
-		if needsOSPF(f.Kind) && control != exp.ControlOSPF {
-			return fmt.Errorf("chaos: fault %d: %s needs the ospf control plane, have %s",
-				i, f.Kind, control)
+		if allowed := controlsFor(f.Kind); allowed != nil {
+			ok := false
+			for _, c := range allowed {
+				if control == c {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("chaos: fault %d: %s does not work under the %s control plane",
+					i, f.Kind, control)
+			}
 		}
 		switch f.Kind {
 		case FaultLinkDown, FaultUnidirDown, FaultCrash:
@@ -230,6 +281,21 @@ func (sc *Scenario) Validate() error {
 		case FaultLSADelay:
 			if f.EndMs == 0 || f.DelayMs <= 0 || f.DelayMs > 2000 {
 				return fmt.Errorf("chaos: fault %d: lsa-delay needs a window and delayMs in (0, 2000]", i)
+			}
+		case FaultCtrlCrash:
+			if f.Node == "" || f.EndMs == 0 {
+				return fmt.Errorf("chaos: fault %d: ctrl-crash needs a node and a restart window", i)
+			}
+		case FaultFalseDetect:
+			if f.EndMs == 0 {
+				return fmt.Errorf("chaos: fault %d: false-detect needs a window", i)
+			}
+		case FaultFlapStorm:
+			if f.EndMs == 0 || f.PeriodMs <= 0 {
+				return fmt.Errorf("chaos: fault %d: flap-storm needs a window and periodMs > 0", i)
+			}
+			if f.Pod < 0 {
+				return fmt.Errorf("chaos: fault %d: negative pod", i)
 			}
 		default:
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)

@@ -32,18 +32,25 @@ import (
 // Direction says which way around the ring a backup route points.
 type Direction int
 
-// Ring directions.
+// Ring directions (Peer is the dual-ToR rack peer, not a ring direction).
 const (
 	Right Direction = iota + 1
 	Left
+	Peer
 )
 
 // String names the direction.
 func (d Direction) String() string {
-	if d == Right {
+	switch d {
+	case Right:
 		return "right"
+	case Left:
+		return "left"
+	case Peer:
+		return "peer"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
 	}
-	return "left"
 }
 
 // BackupRoute is one static route of the F²Tree configuration — a row like
@@ -180,6 +187,30 @@ func acrossNeighbors(t *topo.Topology, ring *topo.Ring, pos int) (rights, lefts 
 		}
 	}
 	return rights, lefts, nil
+}
+
+// PlanRackPeerRoutes builds the dual-ToR rack backup routes: each rack ToR
+// carries a static route for the shared rack subnet over the peer link. It
+// sits under the /32 connected host routes and wins a lookup only when a
+// host's direct link is locally believed dead — the rack-internal
+// equivalent of the F²Tree across route. (If BOTH of a host's links die the
+// ToRs bounce rack-subnet traffic until TTL death; the host is unreachable
+// either way.)
+func PlanRackPeerRoutes(t *topo.Topology) Plan {
+	var plan Plan
+	for ri := range t.Racks {
+		r := &t.Racks[ri]
+		l := t.Link(r.Peer)
+		for _, sw := range r.ToRs {
+			port, _ := l.PortOf(sw)
+			other, _ := l.Other(sw)
+			plan.Routes = append(plan.Routes, BackupRoute{
+				Switch: sw, Prefix: r.Subnet, Port: port,
+				Via: t.Node(other).Addr, Direction: Peer,
+			})
+		}
+	}
+	return plan
 }
 
 // PlanEqualPrefixBackupRoutes builds the configuration the paper argues
@@ -361,6 +392,15 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 			return nil, err
 		}
 		lab.Plan = plan
+	}
+	// Rack peer routes are part of the dual-ToR attachment itself, not the
+	// F²Tree scheme: they install regardless of DisableFastReroute.
+	if len(cfg.Topology.Racks) > 0 {
+		rp := PlanRackPeerRoutes(cfg.Topology)
+		if err := Apply(nw, rp); err != nil {
+			return nil, err
+		}
+		lab.Plan.Routes = append(lab.Plan.Routes, rp.Routes...)
 	}
 	return lab, nil
 }

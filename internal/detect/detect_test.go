@@ -1,0 +1,304 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// fakePlane is a one-link data plane: link state, per-direction echo
+// delays and the belief writes the detector issues are all directly
+// scriptable, so session dynamics can be tested without a network.
+type fakePlane struct {
+	s     *sim.Simulator
+	up    bool
+	live  bool
+	delay [2]time.Duration
+	// beliefs logs every SetPortBelief call in order.
+	beliefs []beliefWrite
+}
+
+type beliefWrite struct {
+	at   sim.Time
+	node topo.NodeID
+	port int
+	up   bool
+}
+
+func newFakePlane() *fakePlane {
+	return &fakePlane{s: sim.New(1), up: true, live: true}
+}
+
+func (p *fakePlane) After(d time.Duration, fn func(sim.Time)) { p.s.After(d, fn) }
+func (p *fakePlane) NumLinks() int                            { return 1 }
+func (p *fakePlane) LinkLive(topo.LinkID) bool                { return p.live }
+func (p *fakePlane) LinkUp(topo.LinkID) bool                  { return p.up }
+func (p *fakePlane) LinkEnds(topo.LinkID) [2]PortRef {
+	return [2]PortRef{{Node: 0, Port: 0}, {Node: 1, Port: 0}}
+}
+func (p *fakePlane) EchoDelay(topo.LinkID) [2]time.Duration { return p.delay }
+func (p *fakePlane) SetPortBelief(now sim.Time, node topo.NodeID, port int, up bool) {
+	p.beliefs = append(p.beliefs, beliefWrite{at: now, node: node, port: port, up: up})
+}
+
+// lastVerdict returns the final belief write, or (false, zero) if none.
+func (p *fakePlane) lastVerdict() (beliefWrite, bool) {
+	if len(p.beliefs) == 0 {
+		return beliefWrite{}, false
+	}
+	return p.beliefs[len(p.beliefs)-1], true
+}
+
+func TestSpecWithDefaults(t *testing.T) {
+	s := Spec{}.WithDefaults(0)
+	if s.Mode != ModeFixed {
+		t.Fatalf("mode = %q", s.Mode)
+	}
+	if got := time.Duration(s.DelayUs) * time.Microsecond; got != DefaultDelay {
+		t.Fatalf("delay = %v, want %v", got, DefaultDelay)
+	}
+	if s.TxIntervalUs != DefaultTxIntervalUs || s.Multiplier != DefaultMultiplier {
+		t.Fatalf("bfd defaults wrong: %+v", s)
+	}
+	if s.MaxIntervalUs != 8*s.TxIntervalUs {
+		t.Fatalf("maxIntervalUs = %d", s.MaxIntervalUs)
+	}
+	// The default budget equals the nominal detection time, so default
+	// sessions cannot flap from congestion alone.
+	if s.EchoBudgetUs != s.Multiplier*s.TxIntervalUs {
+		t.Fatalf("echoBudgetUs = %d", s.EchoBudgetUs)
+	}
+
+	// A custom fallback threads through to the fixed delay.
+	s = Spec{}.WithDefaults(30 * time.Millisecond)
+	if s.DelayUs != 30000 {
+		t.Fatalf("fallback delay not honored: %d", s.DelayUs)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for name, s := range map[string]Spec{
+		"unknown mode":           {Mode: "quantum"},
+		"negative delay":         {DelayUs: -1},
+		"negative multiplier":    {Multiplier: -2},
+		"interval below floor":   {Mode: ModeBFD, TxIntervalUs: 50},
+		"multiplier above 255":   {Mode: ModeBFD, Multiplier: 300},
+		"max below tx":           {Mode: ModeBFD, TxIntervalUs: 1000, MaxIntervalUs: 500},
+		"negative echo budget":   {EchoBudgetUs: -1},
+		"negative max interval":  {MaxIntervalUs: -1},
+		"negative tx under bfd ": {Mode: ModeBFD, TxIntervalUs: -100},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", name, s)
+		}
+	}
+	for name, s := range map[string]Spec{
+		"zero value":    {},
+		"fixed":         {Mode: ModeFixed, DelayUs: 1000},
+		"bfd defaults":  Spec{Mode: ModeBFD}.WithDefaults(0),
+		"bfd raw":       {Mode: ModeBFD, TxIntervalUs: 2000, Multiplier: 2},
+		"fixed via bfd": {Mode: ModeFixed, TxIntervalUs: 50}, // bfd floors don't apply
+	} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: rejected %+v: %v", name, s, err)
+		}
+	}
+}
+
+func TestNewRejectsUnresolvedSpec(t *testing.T) {
+	if _, err := New(Spec{}, newFakePlane()); err == nil {
+		t.Fatal("New accepted a spec with an empty mode")
+	}
+	if _, err := New(Spec{Mode: "quantum"}.WithDefaults(0), newFakePlane()); err == nil {
+		t.Fatal("New accepted an invalid mode")
+	}
+}
+
+// TestFixedDetectorSamplesAtFireTime: the fixed detector adopts the link
+// state as of delay *after* the notification, so a flap shorter than the
+// window collapses to the final state and never surfaces as a belief.
+func TestFixedDetectorSamplesAtFireTime(t *testing.T) {
+	p := newFakePlane()
+	d, err := New(Spec{Mode: ModeFixed, DelayUs: 1000}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	if got, want := d.Bound(), 1*time.Millisecond; got != want {
+		t.Fatalf("Bound = %v, want %v", got, want)
+	}
+
+	// Down at t=0, back up at t=500µs — both notifications fire their
+	// samples after the link is healthy again.
+	p.up = false
+	d.LinkChanged(0)
+	p.s.At(sim.Time(500*time.Microsecond), func(sim.Time) {
+		p.up = true
+		d.LinkChanged(0)
+	})
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.beliefs) != 4 { // two notifications × two endpoints
+		t.Fatalf("belief writes = %d, want 4", len(p.beliefs))
+	}
+	for _, b := range p.beliefs {
+		if !b.up {
+			t.Fatalf("sub-window flap leaked a down verdict: %+v", b)
+		}
+	}
+
+	// A persistent failure is detected exactly delay later, A end first.
+	p.beliefs = nil
+	p.up = false
+	start := p.s.Now()
+	d.LinkChanged(0)
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.beliefs) != 2 || p.beliefs[0].up || p.beliefs[1].up {
+		t.Fatalf("persistent failure not detected: %+v", p.beliefs)
+	}
+	if p.beliefs[0].node != 0 || p.beliefs[1].node != 1 {
+		t.Fatalf("endpoint order wrong: %+v", p.beliefs)
+	}
+	if got := p.beliefs[0].at - start; got != sim.Time(1*time.Millisecond) {
+		t.Fatalf("detection latency = %v, want 1ms", time.Duration(got))
+	}
+}
+
+// newBFDPlane builds an armed aggressive BFD detector (1 ms × 2) over a
+// fake plane for the session-dynamics tests.
+func newBFDPlane(t *testing.T) (*fakePlane, Detector) {
+	t.Helper()
+	p := newFakePlane()
+	d, err := New(Spec{Mode: ModeBFD, TxIntervalUs: 1000, Multiplier: 2}.WithDefaults(0), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	return p, d
+}
+
+// TestBFDDetectsFailureAndRecovery: multiplier consecutive missed rounds
+// flap the session down; multiplier good rounds bring it back.
+func TestBFDDetectsFailureAndRecovery(t *testing.T) {
+	p, d := newBFDPlane(t)
+	p.s.At(sim.Time(5*time.Millisecond), func(sim.Time) { p.up = false })
+	p.s.At(sim.Time(20*time.Millisecond), func(sim.Time) { p.up = true })
+	p.s.At(sim.Time(60*time.Millisecond), func(sim.Time) { d.Stop() })
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawDown, sawUp bool
+	for _, b := range p.beliefs {
+		if !b.up {
+			sawDown = true
+			// 2 missed 1 ms rounds after t=5ms: down by ~7 ms, certainly
+			// inside the detector's own bound.
+			if lat := time.Duration(b.at) - 5*time.Millisecond; lat <= 0 || lat > d.Bound() {
+				t.Fatalf("down verdict at %v, outside (5ms, 5ms+Bound]", time.Duration(b.at))
+			}
+		} else if sawDown {
+			sawUp = true
+			if b.at <= sim.Time(20*time.Millisecond) {
+				t.Fatalf("up verdict at %v precedes the repair", time.Duration(b.at))
+			}
+		}
+	}
+	if !sawDown || !sawUp {
+		t.Fatalf("missing verdicts (down=%v up=%v): %+v", sawDown, sawUp, p.beliefs)
+	}
+	if last, _ := p.lastVerdict(); !last.up {
+		t.Fatalf("final verdict is down after repair: %+v", last)
+	}
+}
+
+// TestBFDFlapsOnCongestion: echo delay past the budget on a physically
+// healthy link is a missed round — sustained congestion flaps the session
+// (the load-coupled false positive), and draining it recovers.
+func TestBFDFlapsOnCongestion(t *testing.T) {
+	p, d := newBFDPlane(t)
+	budget := 2 * time.Millisecond // multiplier × tx
+	p.s.At(sim.Time(5*time.Millisecond), func(sim.Time) {
+		p.delay = [2]time.Duration{budget + time.Microsecond, 0} // one direction is enough
+	})
+	p.s.At(sim.Time(30*time.Millisecond), func(sim.Time) { p.delay = [2]time.Duration{} })
+	p.s.At(sim.Time(80*time.Millisecond), func(sim.Time) { d.Stop() })
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	var falseDown bool
+	for _, b := range p.beliefs {
+		if !b.up {
+			falseDown = true
+			break
+		}
+	}
+	if !falseDown {
+		t.Fatal("sustained over-budget echo delay never flapped the session")
+	}
+	if last, _ := p.lastVerdict(); !last.up {
+		t.Fatalf("session did not recover after the queue drained: %+v", last)
+	}
+}
+
+// TestBFDBudgetHoldsAtBoundary: delay exactly at the budget is a good
+// round — only strictly-late echoes miss.
+func TestBFDBudgetHoldsAtBoundary(t *testing.T) {
+	p, d := newBFDPlane(t)
+	p.delay = [2]time.Duration{2 * time.Millisecond, 2 * time.Millisecond}
+	p.s.At(sim.Time(50*time.Millisecond), func(sim.Time) { d.Stop() })
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.beliefs {
+		if !b.up {
+			t.Fatalf("at-budget echo delay flapped the session: %+v", b)
+		}
+	}
+}
+
+// TestBFDBacksOffAndStopsIdles: a flap renegotiates a longer interval
+// (bounded by Bound()), and Stop() actually quiesces the free-running
+// session — RunUntilIdle returns instead of ticking forever.
+func TestBFDBacksOffAndStopsIdles(t *testing.T) {
+	p, d := newBFDPlane(t)
+	p.up = false // down from the start: the session flaps and stays down
+	p.s.At(sim.Time(40*time.Millisecond), func(sim.Time) { d.Stop() })
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if last, ok := p.lastVerdict(); !ok || last.up {
+		t.Fatalf("dead link not detected: %+v", last)
+	}
+	// The simulator reached idle with no horizon: Stop() worked. Whatever
+	// the negotiated interval did, the detector's bound must still cover a
+	// full detect cycle at the widest interval.
+	if d.Bound() < 3*8*time.Millisecond {
+		t.Fatalf("Bound = %v does not cover mult+1 rounds at max interval", d.Bound())
+	}
+}
+
+// TestBFDSkipsDeadLinks: structurally removed links get no session ticks
+// and no beliefs.
+func TestBFDSkipsDeadLinks(t *testing.T) {
+	p := newFakePlane()
+	p.live = false
+	d, err := New(Spec{Mode: ModeBFD, TxIntervalUs: 1000, Multiplier: 2}.WithDefaults(0), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	d.LinkChanged(0) // must also be a no-op on a dead link
+	if err := p.s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.beliefs) != 0 {
+		t.Fatalf("dead link produced beliefs: %+v", p.beliefs)
+	}
+}

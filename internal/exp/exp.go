@@ -41,6 +41,10 @@ const (
 	SchemeVL2         Scheme = "vl2"
 	SchemeF2VL2       Scheme = "f2vl2"
 	SchemeAspen       Scheme = "aspen"
+	// SchemeF2TreeDual is F²Tree rewired into dual-ToR racks (shared rack
+	// subnets, dual-homed hosts, rack peer links) — the production
+	// attachment the detector-comparison experiments run on.
+	SchemeF2TreeDual Scheme = "f2tree-dual"
 )
 
 // BuildTopology constructs the named scheme with n-port switches.
@@ -64,6 +68,15 @@ func BuildTopology(s Scheme, n int) (*topo.Topology, error) {
 		return topo.F2VL2(n)
 	case SchemeAspen:
 		return topo.AspenTree(n, 1)
+	case SchemeF2TreeDual:
+		t, err := topo.F2Tree(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := topo.MakeDualToR(t); err != nil {
+			return nil, err
+		}
+		return t, nil
 	default:
 		return nil, fmt.Errorf("exp: unknown scheme %q", s)
 	}

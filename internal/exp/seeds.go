@@ -53,3 +53,10 @@ func ChaosSeed(base int64, s Scheme, ports int, control string, rep int) int64 {
 	return sim.DeriveSeed(base, "chaos", string(s), strconv.Itoa(ports),
 		control, strconv.Itoa(rep))
 }
+
+// DetectSeed is the convention for detector-comparison cells (scheme ×
+// recovery mechanism × detector mode × condition × replicate).
+func DetectSeed(base int64, s Scheme, ports int, mechanism, detector, condition string, rep int) int64 {
+	return sim.DeriveSeed(base, "detect", string(s), strconv.Itoa(ports),
+		mechanism, detector, condition, strconv.Itoa(rep))
+}

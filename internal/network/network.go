@@ -12,8 +12,10 @@ package network
 import (
 	"fmt"
 	"maps"
+	"sort"
 	"time"
 
+	"repro/internal/detect"
 	"repro/internal/fib"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -32,8 +34,13 @@ type Config struct {
 	// QueueBytes is the per-link-direction drop-tail queue capacity.
 	QueueBytes int
 	// DetectionDelay is how long a port takes to notice its link changed
-	// state (the paper's BFD-like 60 ms).
+	// state under the default fixed detector (the paper's BFD-like
+	// detect.DefaultDelay). Ignored when Detector selects another mode.
 	DetectionDelay time.Duration
+	// Detector selects the failure-detection model (see package detect).
+	// The zero value is the fixed detector at DetectionDelay, which
+	// reproduces the historical behavior byte-identically.
+	Detector detect.Spec
 	// TTL is the initial packet TTL.
 	TTL int
 	// ECMPPerPacket sprays packets across equal-cost next hops instead of
@@ -54,7 +61,7 @@ func DefaultConfig() Config {
 		PropDelay:      5 * time.Microsecond,
 		ProcDelay:      time.Microsecond,
 		QueueBytes:     128 * 1500, // ≈ 128 full-size packets
-		DetectionDelay: 60 * time.Millisecond,
+		DetectionDelay: detect.DefaultDelay,
 		TTL:            64,
 	}
 }
@@ -136,6 +143,7 @@ type Network struct {
 	cfg   Config
 	nodes []nodeState
 	links []linkState
+	det   detect.Detector
 
 	onPortState []PortStateFunc
 	onDrop      []DropFunc
@@ -302,6 +310,12 @@ func New(s *sim.Simulator, t *topo.Topology, cfg Config) (*Network, error) {
 	if err := n.installConnectedRoutes(); err != nil {
 		return nil, err
 	}
+	det, err := detect.New(n.cfg.Detector.WithDefaults(n.cfg.DetectionDelay), n)
+	if err != nil {
+		return nil, err
+	}
+	n.det = det
+	n.det.Start()
 	return n, nil
 }
 
@@ -328,14 +342,21 @@ func (n *Network) ReinstallConnectedRoutes(id topo.NodeID) error {
 			return err
 		}
 		ls := n.topo.LinksOf(id)
-		if len(ls) != 1 {
-			return fmt.Errorf("network: host %s has %d links", nd.Name, len(ls))
+		if len(ls) == 0 {
+			return fmt.Errorf("network: host %s has no links", nd.Name)
 		}
-		port, _ := ls[0].PortOf(id)
-		tor, _ := ls[0].Other(id)
+		// Dual-homed hosts (dual-ToR racks) ECMP their default route over
+		// every uplink; the usable predicate steers around a detected-down
+		// one.
+		hops := make([]fib.NextHop, 0, len(ls))
+		for _, l := range ls {
+			port, _ := l.PortOf(id)
+			tor, _ := l.Other(id)
+			hops = append(hops, fib.NextHop{Port: port, Via: n.topo.Node(tor).Addr})
+		}
+		sort.Slice(hops, func(i, j int) bool { return fib.HopLess(hops[i], hops[j]) })
 		err = n.nodes[id].table.Add(fib.Route{
-			Prefix: defaultRoute, Source: fib.Static,
-			NextHops: []fib.NextHop{{Port: port, Via: n.topo.Node(tor).Addr}},
+			Prefix: defaultRoute, Source: fib.Static, NextHops: hops,
 		})
 		if err != nil {
 			return err
@@ -481,34 +502,79 @@ func (n *Network) SetLinkDirectionState(id topo.LinkID, from topo.NodeID, up boo
 	n.scheduleDetection(id)
 }
 
-// scheduleDetection arms both endpoints' detectors for the link's state at
-// detection time.
+// scheduleDetection hands a link-state change to the configured detector.
 func (n *Network) scheduleDetection(id topo.LinkID) {
+	n.det.LinkChanged(id)
+}
+
+// DetectionBound is a conservative upper bound on how long the configured
+// detector takes to converge port beliefs after a link transition.
+func (n *Network) DetectionBound() time.Duration { return n.det.Bound() }
+
+// StopDetector halts free-running detector work (BFD session ticks) so
+// the simulator can drain to idle; beliefs freeze as they are. Drivers
+// call it after their measurement horizon, alongside stopping sources.
+func (n *Network) StopDetector() { n.det.Stop() }
+
+// The methods below implement detect.DataPlane.
+
+// After schedules fn on the network's simulator.
+func (n *Network) After(d time.Duration, fn func(now sim.Time)) { n.sim.After(d, fn) }
+
+// NumLinks returns the topology's link count.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// LinkLive reports whether the link structurally exists.
+func (n *Network) LinkLive(id topo.LinkID) bool { return !n.topo.Link(id).Removed }
+
+// LinkEnds returns the link's endpoints, A end first.
+func (n *Network) LinkEnds(id topo.LinkID) [2]detect.PortRef {
 	l := n.topo.Link(id)
-	for _, end := range []struct {
-		node topo.NodeID
-		port int
-	}{{l.A, l.APort}, {l.B, l.BPort}} {
-		end := end
-		n.sim.After(n.cfg.DetectionDelay, func(now sim.Time) {
-			// Detect whatever the link state is *now* (flaps within the
-			// detection window collapse to the final state).
-			actual := n.links[id].bothUp()
-			st := &n.nodes[end.node]
-			if st.believedUp[end.port] == actual {
-				return
-			}
-			if n.detFilter != nil && n.detFilter(now, end.node, end.port, actual) {
-				return // suppressed: belief stays stale until a rescan
-			}
-			st.believedUp[end.port] = actual
-			// Link-usability transition: cached lookup results on this
-			// node may now bypass (or miss) the F²Tree fallback.
-			st.table.InvalidateFlowCache()
-			for _, fn := range n.onPortState {
-				fn(now, end.node, end.port, actual)
-			}
-		})
+	return [2]detect.PortRef{{Node: l.A, Port: l.APort}, {Node: l.B, Port: l.BPort}}
+}
+
+// EchoDelay reports, per direction, the latency a zero-size echo probe
+// transmitted now would see: the queue drain ahead of it plus one-way
+// propagation. Probes are latency samples, not packets — they perturb
+// neither the queues nor the conservation ledgers.
+func (n *Network) EchoDelay(id topo.LinkID) [2]time.Duration {
+	now := n.sim.Now()
+	ls := &n.links[id]
+	var out [2]time.Duration
+	for d := range ls.dirs {
+		var q time.Duration
+		if ls.dirs[d].nextFree > now {
+			q = ls.dirs[d].nextFree.Sub(now)
+		}
+		out[d] = q + n.cfg.PropDelay
+	}
+	return out
+}
+
+// SetPortBelief records a detector verdict for a node's local port. No-op
+// verdicts are ignored; an installed DetectionFilter may suppress the
+// transition. Accepted flips invalidate the node's flow cache and fan out
+// to port-state listeners. A down verdict against a link that is actually
+// healthy in both directions counts as a detector false positive.
+func (n *Network) SetPortBelief(now sim.Time, node topo.NodeID, port int, up bool) {
+	st := &n.nodes[node]
+	if port < 0 || port >= len(st.believedUp) || st.believedUp[port] == up {
+		return
+	}
+	if n.detFilter != nil && n.detFilter(now, node, port, up) {
+		return // suppressed: belief stays stale until a rescan
+	}
+	if !up {
+		if l := n.topo.LinkOnPort(node, port); l != nil && n.links[l.ID].bothUp() {
+			n.stats.FalseDowns++
+		}
+	}
+	st.believedUp[port] = up
+	// Link-usability transition: cached lookup results on this node may
+	// now bypass (or miss) the F²Tree fallback.
+	st.table.InvalidateFlowCache()
+	for _, fn := range n.onPortState {
+		fn(now, node, port, up)
 	}
 }
 

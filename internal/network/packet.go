@@ -81,6 +81,11 @@ type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Drops     map[DropCause]uint64
+	// FalseDowns counts detector down verdicts applied against links that
+	// were actually healthy in both directions — adaptive-BFD congestion
+	// flaps and injected false-positive faults. Always zero under the
+	// fixed detector, which samples actual link state.
+	FalseDowns uint64
 }
 
 // TotalDrops sums every drop cause.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/detsort"
 	"repro/internal/fib"
+	"repro/internal/netaddr"
 	"repro/internal/topo"
 )
 
@@ -165,8 +166,20 @@ func (i *Instance) computeFull() {
 
 // emitRoutes emits one route per advertised prefix of every other
 // reachable router, from the current shortest-path state.
+//
+// A prefix may be advertised by more than one origin (dual-ToR racks
+// anycast their shared subnet from both ToRs): the route keeps the
+// minimum-distance origin's next hops, unioning hop sets when origins tie,
+// so traffic prefers the nearer rack ToR and load-shares at equal cost.
+// With single-origin prefixes the emission is exactly the historical
+// per-origin list.
 func (i *Instance) emitRoutes() []fib.Route {
-	var routes []fib.Route
+	type cand struct {
+		dist int
+		hops map[fib.NextHop]bool
+	}
+	var order []netaddr.Prefix
+	byPrefix := make(map[netaddr.Prefix]*cand)
 	for _, o := range detsort.Keys(i.lsdb) {
 		if o == i.node {
 			continue
@@ -176,10 +189,38 @@ func (i *Instance) emitRoutes() []fib.Route {
 		if len(set) == 0 || len(lsa.Prefixes) == 0 {
 			continue
 		}
-		hops := detsort.KeysFunc(set, fib.HopLess)
+		d := i.spf.dist[o]
 		for _, p := range lsa.Prefixes {
-			routes = append(routes, fib.Route{Prefix: p, Source: fib.OSPF, NextHops: hops})
+			c := byPrefix[p]
+			switch {
+			case c == nil:
+				order = append(order, p)
+				byPrefix[p] = &cand{dist: d, hops: set}
+			case d < c.dist:
+				c.dist = d
+				c.hops = set
+			case d == c.dist:
+				if c.hops != nil && len(set) > 0 {
+					merged := make(map[fib.NextHop]bool, len(c.hops)+len(set))
+					//f2tree:unordered set union; content is order-independent
+					for h := range c.hops {
+						merged[h] = true
+					}
+					//f2tree:unordered set union; content is order-independent
+					for h := range set {
+						merged[h] = true
+					}
+					c.hops = merged
+				}
+			}
 		}
+	}
+	routes := make([]fib.Route, 0, len(order))
+	for _, p := range order {
+		routes = append(routes, fib.Route{
+			Prefix: p, Source: fib.OSPF,
+			NextHops: detsort.KeysFunc(byPrefix[p].hops, fib.HopLess),
+		})
 	}
 	return routes
 }

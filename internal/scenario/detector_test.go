@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseDetectorGRRoundTrip encodes a scenario carrying detector and GR
+// blocks, parses it back, and requires structural equality — the fields
+// must survive a marshal/parse cycle unchanged (and omitempty must keep
+// them out of documents that never set them).
+func TestParseDetectorGRRoundTrip(t *testing.T) {
+	orig := parseOK(t, `{
+		"scheme": "f2tree", "ports": 8, "controlPlane": "bgp",
+		"detector": {"mode": "bfd", "txIntervalUs": 2000, "multiplier": 2, "echoBudgetUs": 500},
+		"gr": {"restartMs": 1500, "longLived": true, "staleMs": 4000},
+		"flows": [{"src": "leftmost", "dst": "rightmost"}]
+	}`)
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip changed the scenario:\n  orig %+v\n  back %+v", orig, back)
+	}
+	if orig.Detector.Mode != "bfd" || orig.Detector.TxIntervalUs != 2000 {
+		t.Fatalf("detector block mangled: %+v", orig.Detector)
+	}
+	if orig.GR.RestartMs != 1500 || !orig.GR.LongLived || orig.GR.StaleMs != 4000 {
+		t.Fatalf("gr block mangled: %+v", orig.GR)
+	}
+
+	// A scenario that never set the blocks must not emit them.
+	plain := parseOK(t, `{"scheme":"f2tree","ports":8,
+		"flows":[{"src":"leftmost","dst":"rightmost"}]}`)
+	blob, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("detector")) || bytes.Contains(blob, []byte(`"gr"`)) {
+		t.Fatalf("omitempty leaked unset blocks: %s", blob)
+	}
+}
+
+// TestParseRejectsBadDetectorGR exercises the error paths: malformed
+// detector specs, malformed GR specs, and GR on a non-BGP control plane.
+func TestParseRejectsBadDetectorGR(t *testing.T) {
+	cases := map[string]string{
+		"unknown detector mode": `{"scheme":"f2tree","ports":8,
+			"detector":{"mode":"quantum"},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"negative detector delay": `{"scheme":"f2tree","ports":8,
+			"detector":{"delayUs":-1},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"bfd interval below floor": `{"scheme":"f2tree","ports":8,
+			"detector":{"mode":"bfd","txIntervalUs":50},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"gr without bgp": `{"scheme":"f2tree","ports":8,
+			"gr":{},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"gr under ospf": `{"scheme":"f2tree","ports":8,"controlPlane":"ospf",
+			"gr":{},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"negative gr timer": `{"scheme":"f2tree","ports":8,"controlPlane":"bgp",
+			"gr":{"restartMs":-5},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+		"gr staleMs without longLived": `{"scheme":"f2tree","ports":8,"controlPlane":"bgp",
+			"gr":{"staleMs":1000},
+			"flows":[{"src":"leftmost","dst":"rightmost"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Parse accepted %s", name, doc)
+		}
+	}
+	// GR with bgp (any case) is valid.
+	parseOK(t, `{"scheme":"f2tree","ports":8,"controlPlane":"BGP","gr":{},
+		"flows":[{"src":"leftmost","dst":"rightmost"}]}`)
+}
+
+// TestRunHonorsDetectorAndGR runs the same C1 failure twice — once with
+// the defaults and once with a slower fixed detector — and requires the
+// slower detector to lengthen the outage, proving the block reaches the
+// network layer. The GR run just has to execute cleanly end to end.
+func TestRunHonorsDetectorAndGR(t *testing.T) {
+	base := `{"scheme":"f2tree","ports":8,"seed":1,%s
+		"flows":[{"src":"leftmost","dst":"rightmost","intervalUs":1000}],
+		"events":[{"atMs":380,"action":"fail-condition","condition":"C1","flow":0}]}`
+	slow := parseOK(t, strings.ReplaceAll(base, "%s", `"detector":{"delayUs":120000},`))
+	rep, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flows[0].LossMs < 115 || rep.Flows[0].LossMs > 140 {
+		t.Fatalf("loss with 120 ms detector = %v ms, want ≈ 120", rep.Flows[0].LossMs)
+	}
+
+	gr := parseOK(t, strings.ReplaceAll(base, "%s", `"controlPlane":"bgp","gr":{"restartMs":500},`))
+	rep, err = Run(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flows[0].Delivered == 0 {
+		t.Fatal("GR scenario delivered nothing")
+	}
+}

@@ -11,10 +11,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/exp"
 	"repro/internal/failure"
 	"repro/internal/metrics"
+	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/transport"
@@ -32,6 +35,10 @@ type Scenario struct {
 	Seed               int64 `json:"seed,omitempty"`
 	// HorizonMs ends the run (default 2000).
 	HorizonMs int64 `json:"horizonMs,omitempty"`
+	// Detector overrides the failure detector (default: fixed delay).
+	Detector *detect.Spec `json:"detector,omitempty"`
+	// GR enables BGP graceful restart (requires controlPlane "bgp").
+	GR *bgp.GRSpec `json:"gr,omitempty"`
 
 	Flows  []Flow  `json:"flows"`
 	Events []Event `json:"events"`
@@ -109,6 +116,19 @@ func (sc *Scenario) Validate() error {
 	if sc.HorizonMs < 0 {
 		return fmt.Errorf("scenario: negative horizon %d ms", sc.HorizonMs)
 	}
+	if sc.Detector != nil {
+		if err := sc.Detector.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if sc.GR != nil {
+		if !strings.EqualFold(sc.ControlPlane, "bgp") {
+			return fmt.Errorf("scenario: gr requires controlPlane \"bgp\"")
+		}
+		if err := sc.GR.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	if len(sc.Flows) == 0 {
 		return fmt.Errorf("scenario: at least one flow is required")
 	}
@@ -180,9 +200,18 @@ func Run(sc *Scenario) (*Report, error) {
 	if seed == 0 {
 		seed = 42
 	}
+	var netCfg network.Config
+	if sc.Detector != nil {
+		netCfg.Detector = *sc.Detector
+	}
+	var bgpCfg bgp.Config
+	if sc.GR != nil {
+		bgpCfg = sc.GR.Apply(bgpCfg)
+	}
 	lab, err := core.NewLab(core.LabConfig{
 		Topology: tp, Seed: seed, ControlPlane: cp,
 		DisableFastReroute: sc.DisableFastReroute,
+		Net:                netCfg, BGP: bgpCfg,
 	})
 	if err != nil {
 		return nil, err

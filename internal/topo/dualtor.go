@@ -1,0 +1,94 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MakeDualToR rewires a built topology into dual-ToR racks, the
+// production attachment the Calico dual-ToR suite exercises: within each
+// pod, ToRs are paired by index (0–1, 2–3, …) and each pair becomes one
+// rack —
+//
+//   - the pair shares the first ToR's host subnet (the second ToR's hosts
+//     are renumbered into it, above the first ToR's hosts), so both ToRs
+//     advertise the same prefix (anycast);
+//   - every rack host gains a second uplink to the other ToR (dual
+//     homing);
+//   - the two ToRs are joined by a rack peer link, carrying the backup
+//     path to hosts whose direct link died.
+//
+// Ports are grown to fit (hosts +1, each ToR + half the rack's hosts +
+// 1). A pod with an odd ToR count leaves its last ToR single-homed. The
+// transform mutates t in place and records rack metadata in t.Racks.
+func MakeDualToR(t *Topology) error {
+	// Group live ToRs by pod, in index order.
+	byPod := make(map[int][]NodeID)
+	pods := []int{}
+	for _, id := range t.NodesOfKind(ToR) {
+		nd := t.Node(id)
+		if _, ok := byPod[nd.Pod]; !ok {
+			pods = append(pods, nd.Pod)
+		}
+		byPod[nd.Pod] = append(byPod[nd.Pod], id)
+	}
+	sort.Ints(pods)
+	for _, p := range pods {
+		tors := byPod[p]
+		sort.Slice(tors, func(i, j int) bool { return t.Nodes[tors[i]].Index < t.Nodes[tors[j]].Index })
+		for i := 0; i+1 < len(tors); i += 2 {
+			if err := t.makeRack(tors[i], tors[i+1]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(t.Racks) == 0 {
+		return fmt.Errorf("topo: %s has no ToR pair to dual-home", t.Name)
+	}
+	t.Name += "-dual"
+	return nil
+}
+
+// makeRack merges ToRs a and b into one dual-ToR rack.
+func (t *Topology) makeRack(a, b NodeID) error {
+	subnet := t.Nodes[a].Subnet
+	hostsA := t.HostsUnder(a)
+	hostsB := t.HostsUnder(b)
+	// Renumber b's hosts into the shared subnet, above a's hosts. The b
+	// ToR keeps its own (now off-subnet) router address — addresses only
+	// label nodes; the subnet is what the control planes advertise.
+	for i, h := range hostsB {
+		addr, err := hostAddr(subnet, len(hostsA)+i)
+		if err != nil {
+			return err
+		}
+		t.Nodes[h].Addr = addr
+	}
+	t.Nodes[b].Subnet = subnet
+	// Grow ports: each host gains one uplink; each ToR hosts the other
+	// half of the rack plus the peer link.
+	for _, h := range append(append([]NodeID{}, hostsA...), hostsB...) {
+		t.GrowPorts(h, 1)
+	}
+	t.GrowPorts(a, len(hostsB)+1)
+	t.GrowPorts(b, len(hostsA)+1)
+	// Dual-home: cross links first (stable host order), then the peer.
+	for _, h := range hostsA {
+		if _, err := t.AddLink(h, b, HostLink); err != nil {
+			return err
+		}
+	}
+	for _, h := range hostsB {
+		if _, err := t.AddLink(h, a, HostLink); err != nil {
+			return err
+		}
+	}
+	peer, err := t.AddLink(a, b, RackLink)
+	if err != nil {
+		return err
+	}
+	hosts := append(append([]NodeID{}, hostsA...), hostsB...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	t.Racks = append(t.Racks, Rack{ToRs: [2]NodeID{a, b}, Peer: peer, Subnet: subnet, Hosts: hosts})
+	return nil
+}

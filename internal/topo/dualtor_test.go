@@ -1,0 +1,79 @@
+package topo
+
+import "testing"
+
+func TestMakeDualToRF2Tree(t *testing.T) {
+	tp, err := F2Tree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, switches := tp.HostCount(), tp.SwitchCount()
+	if err := MakeDualToR(tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.HostCount() != hosts || tp.SwitchCount() != switches {
+		t.Fatalf("node counts changed: hosts %d→%d switches %d→%d", hosts, tp.HostCount(), switches, tp.SwitchCount())
+	}
+	// F²Tree(6): 4 pods × 2 ToRs → every ToR paired, 4 racks.
+	if len(tp.Racks) != 4 {
+		t.Fatalf("racks = %d, want 4", len(tp.Racks))
+	}
+	for ri := range tp.Racks {
+		r := &tp.Racks[ri]
+		a, b := r.ToRs[0], r.ToRs[1]
+		if tp.Node(a).Subnet != tp.Node(b).Subnet {
+			t.Fatalf("rack %d ToRs advertise different subnets", ri)
+		}
+		if len(r.Hosts) != 6 {
+			t.Fatalf("rack %d has %d hosts, want 6", ri, len(r.Hosts))
+		}
+		seen := map[uint32]bool{}
+		for _, h := range r.Hosts {
+			if !r.Subnet.Contains(tp.Node(h).Addr) {
+				t.Fatalf("rack %d host %s addr %v outside %v", ri, tp.Node(h).Name, tp.Node(h).Addr, r.Subnet)
+			}
+			if seen[uint32(tp.Node(h).Addr)] {
+				t.Fatalf("rack %d duplicate host addr %v", ri, tp.Node(h).Addr)
+			}
+			seen[uint32(tp.Node(h).Addr)] = true
+			// Dual-homed to exactly the rack's two ToRs.
+			ls := tp.LinksOf(h)
+			if len(ls) != 2 {
+				t.Fatalf("host %s has %d links", tp.Node(h).Name, len(ls))
+			}
+		}
+		if tp.Link(r.Peer).Class != RackLink {
+			t.Fatalf("rack %d peer link class %v", ri, tp.Link(r.Peer).Class)
+		}
+	}
+}
+
+func TestMakeDualToRDeterministic(t *testing.T) {
+	build := func() *Topology {
+		tp, err := F2Tree(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := MakeDualToR(tp); err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	a, b := build(), build()
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, a.Links[i], b.Links[i])
+		}
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+}

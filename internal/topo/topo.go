@@ -77,6 +77,7 @@ const (
 	EdgeLink                        // ToR ↔ aggregation
 	SpineLink                       // aggregation ↔ core (or leaf ↔ spine)
 	AcrossLink                      // F²Tree across link inside a ring
+	RackLink                        // ToR ↔ ToR peering inside a dual-ToR rack
 )
 
 // String names the class.
@@ -90,6 +91,8 @@ func (c LinkClass) String() string {
 		return "spine"
 	case AcrossLink:
 		return "across"
+	case RackLink:
+		return "rack"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -149,6 +152,21 @@ type Ring struct {
 	RightLink []LinkID
 }
 
+// Rack is a dual-ToR rack: two ToRs sharing one host subnet, joined by a
+// peer link, with every rack host dual-homed to both (the Calico dual-ToR
+// attachment). Both ToRs advertise the shared subnet (anycast) and carry a
+// backup route for it over the peer link.
+type Rack struct {
+	// ToRs are the rack's two switches, primary first.
+	ToRs [2]NodeID
+	// Peer is the ToR↔ToR rack link.
+	Peer LinkID
+	// Subnet is the shared host subnet both ToRs advertise.
+	Subnet netaddr.Prefix
+	// Hosts lists the rack's dual-homed hosts, in ID order.
+	Hosts []NodeID
+}
+
 // AddrPlan describes the address layout (paper Fig 3(d)).
 type AddrPlan struct {
 	// DCNPrefix contains every host subnet (e.g. 10.11.0.0/16).
@@ -168,6 +186,7 @@ type Topology struct {
 	Nodes []Node
 	Links []Link
 	Rings []Ring
+	Racks []Rack
 	Plan  AddrPlan
 
 	// ports[n][p] is the link occupying port p of node n, or None.
@@ -192,8 +211,33 @@ func (t *Topology) AddNode(n Node) NodeID {
 	return n.ID
 }
 
+// GrowPorts adds extra ports to a node (topology transforms that re-home
+// hosts or add peer links use it; new ports start free).
+func (t *Topology) GrowPorts(n NodeID, extra int) {
+	t.Nodes[n].NumPorts += extra
+	for i := 0; i < extra; i++ {
+		t.ports[n] = append(t.ports[n], None)
+	}
+}
+
 // Node returns the node with the given id.
 func (t *Topology) Node(id NodeID) *Node { return &t.Nodes[id] }
+
+// RackOf returns the rack containing node n (as ToR or host), or nil.
+func (t *Topology) RackOf(n NodeID) *Rack {
+	for i := range t.Racks {
+		r := &t.Racks[i]
+		if r.ToRs[0] == n || r.ToRs[1] == n {
+			return r
+		}
+		for _, h := range r.Hosts {
+			if h == n {
+				return r
+			}
+		}
+	}
+	return nil
+}
 
 // Link returns the link with the given id.
 func (t *Topology) Link(id LinkID) *Link { return &t.Links[id] }

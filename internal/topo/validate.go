@@ -38,13 +38,15 @@ func (t *Topology) Validate() error {
 			}
 		}
 	}
-	// Hosts are single-homed.
+	// Hosts are single- or dual-homed (dual-ToR racks).
 	for _, h := range t.NodesOfKind(Host) {
-		if got := len(t.LinksOf(h)); got != 1 {
-			return fmt.Errorf("topo: host %s has %d links, want 1", t.Nodes[h].Name, got)
+		if got := len(t.LinksOf(h)); got < 1 || got > 2 {
+			return fmt.Errorf("topo: host %s has %d links, want 1 or 2", t.Nodes[h].Name, got)
 		}
 	}
-	// ToR subnets disjoint, inside the DCN prefix.
+	// ToR subnets inside the DCN prefix and disjoint — except that two
+	// ToRs may share one subnet exactly (dual-ToR anycast); a proper
+	// overlap is still a bug.
 	tors := t.NodesOfKind(ToR)
 	for i, a := range tors {
 		sa := t.Nodes[a].Subnet
@@ -53,9 +55,41 @@ func (t *Topology) Validate() error {
 				sa, t.Nodes[a].Name, t.Plan.DCNPrefix)
 		}
 		for _, b := range tors[i+1:] {
-			if sa.Overlaps(t.Nodes[b].Subnet) {
-				return fmt.Errorf("topo: subnets of %s and %s overlap",
+			if sb := t.Nodes[b].Subnet; sa.Overlaps(sb) && sa != sb {
+				return fmt.Errorf("topo: subnets of %s and %s partially overlap",
 					t.Nodes[a].Name, t.Nodes[b].Name)
+			}
+		}
+	}
+	// Rack metadata.
+	for ri := range t.Racks {
+		r := &t.Racks[ri]
+		a, b := r.ToRs[0], r.ToRs[1]
+		if t.Nodes[a].Kind != ToR || t.Nodes[b].Kind != ToR || t.Nodes[a].Pruned || t.Nodes[b].Pruned {
+			return fmt.Errorf("topo: rack %d ToRs invalid", ri)
+		}
+		if t.Nodes[a].Subnet != r.Subnet || t.Nodes[b].Subnet != r.Subnet {
+			return fmt.Errorf("topo: rack %d ToRs do not share subnet %v", ri, r.Subnet)
+		}
+		pl := &t.Links[r.Peer]
+		if pl.Removed || pl.Class != RackLink {
+			return fmt.Errorf("topo: rack %d peer link %d invalid", ri, r.Peer)
+		}
+		if !((pl.A == a && pl.B == b) || (pl.A == b && pl.B == a)) {
+			return fmt.Errorf("topo: rack %d peer link %d does not join its ToRs", ri, r.Peer)
+		}
+		for _, h := range r.Hosts {
+			ls := t.LinksOf(h)
+			if len(ls) != 2 {
+				return fmt.Errorf("topo: rack %d host %s not dual-homed", ri, t.Nodes[h].Name)
+			}
+			for _, l := range ls {
+				if o, _ := l.Other(h); o != a && o != b {
+					return fmt.Errorf("topo: rack %d host %s linked outside the rack", ri, t.Nodes[h].Name)
+				}
+			}
+			if !r.Subnet.Contains(t.Nodes[h].Addr) {
+				return fmt.Errorf("topo: rack %d host %s outside rack subnet %v", ri, t.Nodes[h].Name, r.Subnet)
 			}
 		}
 	}
